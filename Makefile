@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce every figure and claim of the paper (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/rlbench
+
+experiments-md:
+	$(GO) run ./cmd/rlbench -md
+
+examples:
+	@for e in quickstart abstraction fairimpl featureinteraction \
+	          compositional montecarlo philosophers; do \
+		echo "== examples/$$e"; $(GO) run ./examples/$$e || exit 1; \
+	done
+
+cover:
+	$(GO) test ./internal/... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,98 @@
+// Command rlbench runs the experiment harness reproducing every figure
+// and in-text claim of Nitsche & Wolper (PODC'97) and prints a
+// paper-vs-measured report (the generator behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	rlbench            # run all experiments
+//	rlbench -run E5    # run one experiment
+//	rlbench -md        # emit Markdown instead of plain text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"relive/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rlbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("run", "", "run a single experiment by id (e.g. E5)")
+	markdown := fs.Bool("md", false, "emit Markdown tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var results []exp.Result
+	if *only != "" {
+		found := false
+		for _, e := range exp.All() {
+			if e.ID == *only {
+				found = true
+				r, err := e.Run()
+				if err != nil {
+					fmt.Fprintf(stderr, "rlbench: %s: %v\n", e.ID, err)
+					return 2
+				}
+				results = append(results, r)
+			}
+		}
+		if !found {
+			fmt.Fprintf(stderr, "rlbench: unknown experiment %q\n", *only)
+			return 2
+		}
+	} else {
+		var err error
+		results, err = exp.RunAll()
+		if err != nil {
+			fmt.Fprintf(stderr, "rlbench: %v\n", err)
+			return 2
+		}
+	}
+
+	allPassed := true
+	for _, r := range results {
+		if *markdown {
+			printMarkdown(stdout, r)
+		} else {
+			fmt.Fprintln(stdout, r)
+		}
+		allPassed = allPassed && r.Passed()
+	}
+	if !allPassed {
+		fmt.Fprintln(stdout, "RESULT: some observations deviate from the paper")
+		return 1
+	}
+	fmt.Fprintf(stdout, "RESULT: all %d experiments match the paper\n", len(results))
+	return 0
+}
+
+func printMarkdown(w io.Writer, r exp.Result) {
+	fmt.Fprintf(w, "### %s (%s): %s\n\n", r.ID, r.Artifact, r.Title)
+	fmt.Fprintln(w, "| Observation | Measured | Paper | Match |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for _, o := range r.Observations {
+		match := ""
+		if o.Claim != "" {
+			if o.Match {
+				match = "✓"
+			} else {
+				match = "✗"
+			}
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+			escapePipes(o.Name), escapePipes(o.Value), escapePipes(o.Claim), match)
+	}
+	fmt.Fprintln(w)
+}
+
+func escapePipes(s string) string { return strings.ReplaceAll(s, "|", "\\|") }

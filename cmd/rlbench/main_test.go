@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleExperimentText(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "E2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"E2", "relative liveness", "[OK]", "all 1 experiments match"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSingleExperimentMarkdown(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "E7", "-md"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"### E7", "| Observation | Measured | Paper | Match |", "✓"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

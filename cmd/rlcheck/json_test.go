@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONOutput(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-ltl", "G F result", "-json"}, &out, &errOut)
+	if code != 1 { // property not satisfied outright
+		t.Fatalf("exit = %d, want 1 (stderr %s)", code, errOut.String())
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if decoded["relativeLiveness"] != true {
+		t.Errorf("relativeLiveness = %v, want true", decoded["relativeLiveness"])
+	}
+	if decoded["satisfied"] != false {
+		t.Errorf("satisfied = %v, want false", decoded["satisfied"])
+	}
+	if decoded["relativeSafety"] != false {
+		t.Errorf("relativeSafety = %v, want false", decoded["relativeSafety"])
+	}
+	if _, ok := decoded["counterexample"]; !ok {
+		t.Error("counterexample missing from JSON")
+	}
+	if _, ok := decoded["badPrefix"]; ok {
+		t.Error("badPrefix present although relative liveness holds")
+	}
+}
+
+func TestJSONSatisfiedExitZero(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	// "F request" holds of every behavior (requests drive the loop).
+	code := run([]string{"-sys", path, "-ltl", "F request", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"satisfied": true`) {
+		t.Errorf("output: %s", out.String())
+	}
+}

@@ -1,0 +1,162 @@
+// Command rlcheck decides relative liveness, relative safety and plain
+// satisfaction of a PLTL property over a transition system.
+//
+// Usage:
+//
+//	rlcheck -sys server.ts -ltl "G F result" [-check rl|rs|sat|all]
+//
+// The system file uses the line format "init <state>" plus
+// "<from> <action> <to>" lines ("-" reads standard input). Exit status:
+// 0 when every requested check holds, 1 when one fails, 2 on errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"relive"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rlcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sysPath := fs.String("sys", "", "transition system file (- for stdin)")
+	ltlText := fs.String("ltl", "", "PLTL property, e.g. \"G F result\" or \"□◇result\"")
+	omegaText := fs.String("omega", "", "ω-regular property \"U ( V ) ^w\" instead of -ltl")
+	check := fs.String("check", "all", "which check to run: rl, rs, sat, or all")
+	quiet := fs.Bool("q", false, "only set the exit status, print nothing")
+	jsonOut := fs.Bool("json", false, "emit all three verdicts as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *sysPath == "" || (*ltlText == "") == (*omegaText == "") {
+		fmt.Fprintln(stderr, "rlcheck: -sys and exactly one of -ltl / -omega are required")
+		fs.Usage()
+		return 2
+	}
+	sys, err := readSystem(*sysPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	var property relive.Property
+	var propName string
+	if *ltlText != "" {
+		f, err := relive.ParseLTL(*ltlText)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		property = relive.PropertyFromLTL(f, nil)
+		propName = f.String()
+	} else {
+		b, err := relive.ParseOmegaRegex(sys.Alphabet(), *omegaText)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		property = relive.PropertyFromBuchi(b)
+		propName = *omegaText
+	}
+	_ = propName // witnesses already name the actions; the label is for future use
+	if *jsonOut {
+		report, err := relive.CheckAllProperty(sys, property)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		if report.Satisfied {
+			return 0
+		}
+		return 1
+	}
+
+	allHold := true
+	report := func(name, verdict string, holds bool, witness string) {
+		allHold = allHold && holds
+		if *quiet {
+			return
+		}
+		fmt.Fprintf(stdout, "%-18s %s", name, verdict)
+		if !holds && witness != "" {
+			fmt.Fprintf(stdout, "  (witness: %s)", witness)
+		}
+		fmt.Fprintln(stdout)
+	}
+	verdict := func(holds bool) string {
+		if holds {
+			return "HOLDS"
+		}
+		return "FAILS"
+	}
+
+	runRL := *check == "rl" || *check == "all"
+	runRS := *check == "rs" || *check == "all"
+	runSat := *check == "sat" || *check == "all"
+	if !runRL && !runRS && !runSat {
+		fmt.Fprintf(stderr, "rlcheck: unknown -check %q\n", *check)
+		return 2
+	}
+	if runRL {
+		res, err := relive.CheckRelativeLivenessProperty(sys, property)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		report("relative liveness", verdict(res.Holds), res.Holds,
+			res.BadPrefix.String(sys.Alphabet()))
+	}
+	if runRS {
+		res, err := relive.CheckRelativeSafetyProperty(sys, property)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		witness := ""
+		if !res.Holds {
+			witness = res.Violation.String(sys.Alphabet())
+		}
+		report("relative safety", verdict(res.Holds), res.Holds, witness)
+	}
+	if runSat {
+		res, err := relive.CheckSatisfiesProperty(sys, property)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		witness := ""
+		if !res.Holds {
+			witness = res.Counterexample.String(sys.Alphabet())
+		}
+		report("satisfaction", verdict(res.Holds), res.Holds, witness)
+	}
+	if allHold {
+		return 0
+	}
+	return 1
+}
+
+func readSystem(path string) (*relive.System, error) {
+	if path == "-" {
+		return relive.ParseSystem(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relive.ParseSystem(f)
+}

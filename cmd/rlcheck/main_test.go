@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const serverText = `
+init idle
+idle request busy
+busy result idle
+busy reject idle
+`
+
+func writeSystem(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sys.ts")
+	if err := os.WriteFile(path, []byte(serverText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAllChecks(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-ltl", "G F result"}, &out, &errOut)
+	// Satisfaction fails, so overall exit is 1.
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"relative liveness  HOLDS",
+		"relative safety    FAILS",
+		"satisfaction       FAILS",
+		"witness",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSingleCheckExitZero(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", path, "-ltl", "G F result", "-check", "rl"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "HOLDS") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestQuietMode(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", path, "-ltl", "G F result", "-check", "rl", "-q"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if out.String() != "" {
+		t.Errorf("quiet mode printed: %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	path := writeSystem(t)
+	tests := [][]string{
+		{},                                    // no flags
+		{"-sys", path},                        // missing -ltl
+		{"-ltl", "G F a"},                     // missing -sys
+		{"-sys", "/nonexistent", "-ltl", "a"}, // bad file
+		{"-sys", path, "-ltl", "(("},          // bad formula
+		{"-sys", path, "-ltl", "a", "-check", "x"}, // bad mode
+	}
+	for _, args := range tests {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	// "-" reads stdin; emulate via a pipe around os.Stdin.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = orig }()
+	go func() {
+		w.WriteString(serverText)
+		w.Close()
+	}()
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", "-", "-ltl", "G F result", "-check", "rl"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+}
+
+func TestOmegaProperty(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	// The ω-regular property "(request (result|reject))^ω" holds of all
+	// behaviors: satisfaction, RL and RS all succeed.
+	code := run([]string{"-sys", path, "-omega", "( request ( result | reject ) ) ^w"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)\n%s", code, errOut.String(), out.String())
+	}
+	if strings.Count(out.String(), "HOLDS") != 3 {
+		t.Errorf("expected three HOLDS:\n%s", out.String())
+	}
+	// -ltl and -omega are mutually exclusive.
+	if code := run([]string{"-sys", path, "-ltl", "a", "-omega", "( a ) ^w"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	// Bad ω-expression.
+	if code := run([]string{"-sys", path, "-omega", "definitely not omega"}, &out, &errOut); code != 2 {
+		t.Errorf("bad omega exit = %d, want 2", code)
+	}
+}

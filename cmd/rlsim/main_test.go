@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSystem(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sys.ts")
+	text := `
+init idle
+idle request busy
+busy result idle
+busy reject idle
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFairTrace(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", path, "-steps", "10"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "initial: idle") {
+		t.Errorf("missing initial state:\n%s", got)
+	}
+	if !strings.Contains(got, "result") || !strings.Contains(got, "reject") {
+		t.Errorf("fair trace should contain both outcomes:\n%s", got)
+	}
+	if lines := strings.Count(got, "\n"); lines != 11 {
+		t.Errorf("trace has %d lines, want 11", lines)
+	}
+}
+
+func TestRandomTraceDeterministicSeed(t *testing.T) {
+	path := writeSystem(t)
+	var out1, out2, errOut strings.Builder
+	if code := run([]string{"-sys", path, "-sched", "random", "-seed", "5", "-steps", "12"}, &out1, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if code := run([]string{"-sys", path, "-sched", "random", "-seed", "5", "-steps", "12"}, &out2, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("same seed produced different random traces")
+	}
+}
+
+func TestProbabilityEstimate(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-ltl", "G F result", "-runs", "50", "-steps", "60"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "≈ 1.000") {
+		t.Errorf("expected probability 1.000 for a relative liveness property:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeSystem(t)
+	for _, args := range [][]string{
+		{},
+		{"-sys", "/nonexistent"},
+		{"-sys", path, "-sched", "bogus"},
+		{"-sys", path, "-ltl", "(("},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}

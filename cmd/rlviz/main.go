@@ -1,0 +1,95 @@
+// Command rlviz renders transition systems and the paper's figures as
+// Graphviz DOT.
+//
+// Usage:
+//
+//	rlviz -sys server.ts            # render a system file
+//	rlviz -fig 1                    # the paper's Figure 1 Petri net
+//	rlviz -fig 2 | dot -Tpng -o fig2.png
+//
+// Figures: 1 (Petri net), 2 (server behaviors), 3 (erroneous server),
+// 4 (abstract system).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"relive"
+	"relive/internal/paper"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rlviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sysPath := fs.String("sys", "", "transition system file (- for stdin)")
+	fig := fs.Int("fig", 0, "render the paper's figure 1-4 instead of a file")
+	name := fs.String("name", "system", "graph name")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *fig != 0 && *sysPath != "":
+		fmt.Fprintln(stderr, "rlviz: -sys and -fig are mutually exclusive")
+		return 2
+	case *fig != 0:
+		dot, err := figureDOT(*fig)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlviz: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, dot)
+		return 0
+	case *sysPath != "":
+		sys, err := readSystem(*sysPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlviz: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, sys.DOT(*name))
+		return 0
+	}
+	fmt.Fprintln(stderr, "rlviz: one of -sys or -fig is required")
+	fs.Usage()
+	return 2
+}
+
+func figureDOT(fig int) (string, error) {
+	switch fig {
+	case 1:
+		return paper.Fig1Net().DOT("figure1"), nil
+	case 2:
+		sys, err := paper.Fig2System()
+		if err != nil {
+			return "", err
+		}
+		return sys.DOT("figure2"), nil
+	case 3:
+		return paper.Fig3System().DOT("figure3"), nil
+	case 4:
+		sys, err := paper.Fig4System()
+		if err != nil {
+			return "", err
+		}
+		return sys.DOT("figure4"), nil
+	}
+	return "", fmt.Errorf("unknown figure %d (want 1-4)", fig)
+}
+
+func readSystem(path string) (*relive.System, error) {
+	if path == "-" {
+		return relive.ParseSystem(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relive.ParseSystem(f)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderFigures(t *testing.T) {
+	wants := map[int][]string{
+		1: {"digraph", "shape=box", "request"},
+		2: {"digraph", "grey80", "lock"},
+		3: {"digraph", "F.idle"},
+		4: {"digraph", "q0", "request"},
+	}
+	for fig, needles := range wants {
+		var out, errOut strings.Builder
+		code := run([]string{"-fig", itoa(fig)}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("fig %d: exit = %d (stderr %s)", fig, code, errOut.String())
+		}
+		for _, want := range needles {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("fig %d output missing %q", fig, want)
+			}
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestRenderFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.ts")
+	if err := os.WriteFile(path, []byte("init s0\ns0 a s1\ns1 b s0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", path, "-name", "loop"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `digraph "loop"`) {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                         // nothing
+		{"-fig", "7"},              // unknown figure
+		{"-sys", "/nonexistent"},   // bad file
+		{"-sys", "x", "-fig", "1"}, // mutually exclusive
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}

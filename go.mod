@@ -1,0 +1,3 @@
+module relive
+
+go 1.22

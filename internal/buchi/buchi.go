@@ -1,0 +1,663 @@
+// Package buchi implements nondeterministic Büchi automata over interned
+// alphabets: products, union, emptiness with ultimately periodic witness
+// extraction, reduction (trimming states that cannot contribute to an
+// accepted ω-word), limits of prefix-closed regular languages
+// (lim(L), Section 3 of Nitsche & Wolper, PODC'97), prefix languages
+// pre(L_ω), lasso membership, and rank-based complementation.
+package buchi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relive/internal/alphabet"
+	"relive/internal/graph"
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// State identifies a Büchi automaton state.
+type State int
+
+// Buchi is a nondeterministic Büchi automaton. There are no
+// ε-transitions; acceptance is "visits an accepting state infinitely
+// often".
+type Buchi struct {
+	ab        *alphabet.Alphabet
+	initial   []State
+	accepting []bool
+	trans     []map[alphabet.Symbol][]State
+}
+
+// New returns an empty Büchi automaton over ab.
+func New(ab *alphabet.Alphabet) *Buchi {
+	return &Buchi{ab: ab}
+}
+
+// Alphabet returns the automaton's alphabet.
+func (b *Buchi) Alphabet() *alphabet.Alphabet { return b.ab }
+
+// NumStates returns the number of states.
+func (b *Buchi) NumStates() int { return len(b.accepting) }
+
+// AddState adds a fresh state.
+func (b *Buchi) AddState(accepting bool) State {
+	s := State(len(b.accepting))
+	b.accepting = append(b.accepting, accepting)
+	b.trans = append(b.trans, nil)
+	return s
+}
+
+// SetInitial marks s initial.
+func (b *Buchi) SetInitial(s State) { b.initial = append(b.initial, s) }
+
+// Initial returns the initial states.
+func (b *Buchi) Initial() []State { return b.initial }
+
+// Accepting reports whether s is accepting.
+func (b *Buchi) Accepting(s State) bool { return b.accepting[s] }
+
+// SetAccepting sets the acceptance status of s.
+func (b *Buchi) SetAccepting(s State, accepting bool) { b.accepting[s] = accepting }
+
+// AddTransition adds from --sym--> to. ε is not a legal Büchi label.
+func (b *Buchi) AddTransition(from State, sym alphabet.Symbol, to State) {
+	if sym == alphabet.Epsilon {
+		panic("buchi: ε-transition added to Büchi automaton")
+	}
+	m := b.trans[from]
+	if m == nil {
+		m = make(map[alphabet.Symbol][]State)
+		b.trans[from] = m
+	}
+	for _, t := range m[sym] {
+		if t == to {
+			return
+		}
+	}
+	m[sym] = append(m[sym], to)
+}
+
+// Succ returns the successors of s under sym.
+func (b *Buchi) Succ(s State, sym alphabet.Symbol) []State { return b.trans[s][sym] }
+
+// Clone returns a deep copy sharing the alphabet.
+func (b *Buchi) Clone() *Buchi {
+	c := &Buchi{
+		ab:        b.ab,
+		initial:   append([]State(nil), b.initial...),
+		accepting: append([]bool(nil), b.accepting...),
+		trans:     make([]map[alphabet.Symbol][]State, len(b.trans)),
+	}
+	for i, m := range b.trans {
+		if m == nil {
+			continue
+		}
+		cm := make(map[alphabet.Symbol][]State, len(m))
+		for sym, ts := range m {
+			cm[sym] = append([]State(nil), ts...)
+		}
+		c.trans[i] = cm
+	}
+	return c
+}
+
+func (b *Buchi) succFunc() graph.Succ {
+	return func(v int) []int {
+		var out []int
+		for _, ts := range b.trans[v] {
+			for _, t := range ts {
+				out = append(out, int(t))
+			}
+		}
+		return out
+	}
+}
+
+func (b *Buchi) initialInts() []int {
+	out := make([]int, len(b.initial))
+	for i, s := range b.initial {
+		out[i] = int(s)
+	}
+	return out
+}
+
+// DropAcceptance returns the automaton with every state accepting. This
+// is the operation of Theorem 5.1: "A with its acceptance condition
+// removed" turns a reduced Büchi automaton for L_ω ∩ P into a
+// finite-state system accepting L_ω.
+func (b *Buchi) DropAcceptance() *Buchi {
+	c := b.Clone()
+	for i := range c.accepting {
+		c.accepting[i] = true
+	}
+	return c
+}
+
+// ToNFA reinterprets the Büchi automaton as an NFA on finite words with
+// the same states and acceptance.
+func (b *Buchi) ToNFA() *nfa.NFA {
+	a := nfa.New(b.ab)
+	for i := 0; i < b.NumStates(); i++ {
+		a.AddState(b.accepting[i])
+	}
+	for i, m := range b.trans {
+		for sym, ts := range m {
+			for _, t := range ts {
+				a.AddTransition(nfa.State(i), sym, nfa.State(t))
+			}
+		}
+	}
+	for _, s := range b.initial {
+		a.SetInitial(nfa.State(s))
+	}
+	return a
+}
+
+// FromNFA reinterprets an ε-free NFA as a Büchi automaton with the same
+// states and acceptance.
+func FromNFA(a *nfa.NFA) (*Buchi, error) {
+	if a.HasEpsilon() {
+		return nil, fmt.Errorf("buchi: NFA has ε-transitions")
+	}
+	b := New(a.Alphabet())
+	for i := 0; i < a.NumStates(); i++ {
+		b.AddState(a.Accepting(nfa.State(i)))
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		for _, sym := range a.Alphabet().Symbols() {
+			for _, t := range a.Succ(nfa.State(i), sym) {
+				b.AddTransition(State(i), sym, State(t))
+			}
+		}
+	}
+	for _, s := range a.Initial() {
+		b.SetInitial(State(s))
+	}
+	return b, nil
+}
+
+// Reduce removes states that are unreachable or from which no ω-word can
+// be accepted ("reduced" in the sense of Theorem 5.1). The accepted
+// ω-language is unchanged, and afterwards the finite-path language from
+// the initial states equals pre(L_ω(b)).
+func (b *Buchi) Reduce() *Buchi {
+	n := b.NumStates()
+	succ := b.succFunc()
+	// States on an accepting cycle: in a nontrivial SCC containing an
+	// accepting state.
+	comps := graph.SCCs(n, succ)
+	onAcceptingCycle := make([]bool, n)
+	for _, c := range comps {
+		if graph.IsTrivialSCC(c, succ) {
+			continue
+		}
+		hasAcc := false
+		for _, v := range c {
+			if b.accepting[v] {
+				hasAcc = true
+				break
+			}
+		}
+		if hasAcc {
+			for _, v := range c {
+				onAcceptingCycle[v] = true
+			}
+		}
+	}
+	live := graph.CoReachable(n, onAcceptingCycle, succ)
+	reach := graph.Reachable(n, b.initialInts(), succ)
+
+	keep := make([]State, n)
+	for i := range keep {
+		keep[i] = -1
+	}
+	out := New(b.ab)
+	for i := 0; i < n; i++ {
+		if reach[i] && live[i] {
+			keep[i] = out.AddState(b.accepting[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if keep[i] < 0 {
+			continue
+		}
+		for sym, ts := range b.trans[i] {
+			for _, t := range ts {
+				if keep[t] >= 0 {
+					out.AddTransition(keep[i], sym, keep[t])
+				}
+			}
+		}
+	}
+	for _, s := range b.initial {
+		if keep[s] >= 0 {
+			out.SetInitial(keep[s])
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether L_ω(b) is empty.
+func (b *Buchi) IsEmpty() bool {
+	_, ok := b.AcceptingLasso()
+	return !ok
+}
+
+// AcceptingLasso returns an ultimately periodic word accepted by b, or
+// ok=false when the language is empty. The witness consists of a shortest
+// path to an accepting state lying on a cycle, followed by a cycle
+// through that state.
+func (b *Buchi) AcceptingLasso() (word.Lasso, bool) {
+	n := b.NumStates()
+	succ := b.succFunc()
+	reach := graph.Reachable(n, b.initialInts(), succ)
+	comps := graph.SCCs(n, succ)
+	compOf := graph.ComponentOf(n, comps)
+
+	// Find a reachable accepting state inside a nontrivial SCC.
+	target := -1
+	for _, c := range comps {
+		if graph.IsTrivialSCC(c, succ) {
+			continue
+		}
+		for _, v := range c {
+			if reach[v] && b.accepting[v] {
+				target = v
+				break
+			}
+		}
+		if target >= 0 {
+			break
+		}
+	}
+	if target < 0 {
+		return word.Lasso{}, false
+	}
+
+	prefix, _ := b.pathWord(b.initial, func(v State) bool { return int(v) == target }, nil)
+	// Cycle: shortest nonempty path from target back to target within its SCC.
+	inSCC := func(v State) bool { return compOf[v] == compOf[target] }
+	var starts []State
+	var startSyms []alphabet.Symbol
+	for sym, ts := range b.trans[target] {
+		for _, t := range ts {
+			if inSCC(t) {
+				starts = append(starts, t)
+				startSyms = append(startSyms, sym)
+			}
+		}
+	}
+	// BFS from each first-step successor; take the first (shortest overall
+	// is not required, any cycle suffices).
+	for i, s := range starts {
+		if s == State(target) {
+			return word.MustLasso(prefix, word.Word{startSyms[i]}), true
+		}
+	}
+	for i, s := range starts {
+		rest, ok := b.pathWord([]State{s}, func(v State) bool { return int(v) == target }, inSCC)
+		if ok {
+			loop := append(word.Word{startSyms[i]}, rest...)
+			return word.MustLasso(prefix, loop), true
+		}
+	}
+	return word.Lasso{}, false
+}
+
+// pathWord returns the label word of a shortest path from any of the
+// sources to a goal state, restricted to states satisfying within (nil
+// means unrestricted). ok is false when no goal is reachable.
+func (b *Buchi) pathWord(sources []State, goal func(State) bool, within func(State) bool) (word.Word, bool) {
+	type entry struct {
+		s      State
+		parent int
+		sym    alphabet.Symbol
+	}
+	var queue []entry
+	seen := make(map[State]bool)
+	for _, s := range sources {
+		if within != nil && !within(s) {
+			continue
+		}
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, entry{s: s, parent: -1})
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if goal(cur.s) {
+			var w word.Word
+			for j := i; queue[j].parent != -1; j = queue[j].parent {
+				w = append(w, queue[j].sym)
+			}
+			for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+				w[l], w[r] = w[r], w[l]
+			}
+			return w, true
+		}
+		for sym, ts := range b.trans[cur.s] {
+			for _, t := range ts {
+				if within != nil && !within(t) {
+					continue
+				}
+				if !seen[t] {
+					seen[t] = true
+					queue = append(queue, entry{s: t, parent: i, sym: sym})
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// PrefixNFA returns an NFA for pre(L_ω(b)), the finite prefixes of
+// accepted ω-words: reduce, then accept every finite path.
+func (b *Buchi) PrefixNFA() *nfa.NFA {
+	r := b.Reduce()
+	a := r.ToNFA()
+	return a.MarkAllAccepting()
+}
+
+// Intersect returns a Büchi automaton for L_ω(a) ∩ L_ω(c) using the
+// standard two-track product. When either operand has every state
+// accepting (a "safety" automaton), the plain product is used instead.
+func Intersect(a, c *Buchi) *Buchi {
+	if a.allAccepting() || c.allAccepting() {
+		return plainProduct(a, c)
+	}
+	out := New(a.ab)
+	type key struct {
+		x, y  State
+		track uint8
+	}
+	index := map[key]State{}
+	var queue []key
+	intern := func(k key) State {
+		if s, ok := index[k]; ok {
+			return s
+		}
+		s := out.AddState(k.track == 1 && c.accepting[k.y])
+		index[k] = s
+		queue = append(queue, k)
+		return s
+	}
+	for _, x := range a.initial {
+		for _, y := range c.initial {
+			out.SetInitial(intern(key{x, y, 0}))
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		from := index[k]
+		for sym, xs := range a.trans[k.x] {
+			ys := c.trans[k.y][sym]
+			for _, x := range xs {
+				for _, y := range ys {
+					track := k.track
+					if track == 0 && a.accepting[k.x] {
+						track = 1
+					} else if track == 1 && c.accepting[k.y] {
+						track = 0
+					}
+					out.AddTransition(from, sym, intern(key{x, y, track}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (b *Buchi) allAccepting() bool {
+	for _, acc := range b.accepting {
+		if !acc {
+			return false
+		}
+	}
+	return len(b.accepting) > 0
+}
+
+// plainProduct builds the synchronous product with conjunction of
+// acceptance; correct when one operand accepts with every state.
+func plainProduct(a, c *Buchi) *Buchi {
+	out := New(a.ab)
+	type pair struct{ x, y State }
+	index := map[pair]State{}
+	var queue []pair
+	intern := func(p pair) State {
+		if s, ok := index[p]; ok {
+			return s
+		}
+		s := out.AddState(a.accepting[p.x] && c.accepting[p.y])
+		index[p] = s
+		queue = append(queue, p)
+		return s
+	}
+	for _, x := range a.initial {
+		for _, y := range c.initial {
+			out.SetInitial(intern(pair{x, y}))
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := index[p]
+		for sym, xs := range a.trans[p.x] {
+			ys := c.trans[p.y][sym]
+			for _, x := range xs {
+				for _, y := range ys {
+					out.AddTransition(from, sym, intern(pair{x, y}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Union returns a Büchi automaton for L_ω(a) ∪ L_ω(c) by disjoint union.
+func Union(a, c *Buchi) *Buchi {
+	out := a.Clone()
+	offset := State(out.NumStates())
+	for i := 0; i < c.NumStates(); i++ {
+		out.AddState(c.accepting[i])
+	}
+	for i := range c.trans {
+		for sym, ts := range c.trans[i] {
+			for _, t := range ts {
+				out.AddTransition(State(i)+offset, sym, t+offset)
+			}
+		}
+	}
+	for _, s := range c.initial {
+		out.SetInitial(s + offset)
+	}
+	return out
+}
+
+// LassoAutomaton returns a Büchi automaton accepting exactly {l}.
+func LassoAutomaton(ab *alphabet.Alphabet, l word.Lasso) *Buchi {
+	b := New(ab)
+	n := len(l.Prefix) + len(l.Loop)
+	states := make([]State, n)
+	for i := 0; i < n; i++ {
+		states[i] = b.AddState(true)
+	}
+	for i, sym := range l.Prefix {
+		if i+1 < n {
+			b.AddTransition(states[i], sym, states[i+1])
+		}
+	}
+	loopStart := states[len(l.Prefix)]
+	for i, sym := range l.Loop {
+		from := states[len(l.Prefix)+i]
+		to := loopStart
+		if len(l.Prefix)+i+1 < n {
+			to = states[len(l.Prefix)+i+1]
+		}
+		if i == len(l.Loop)-1 {
+			to = loopStart
+		}
+		b.AddTransition(from, sym, to)
+	}
+	b.SetInitial(states[0])
+	return b
+}
+
+// AcceptsLasso reports whether b accepts the ultimately periodic word l,
+// via emptiness of the product with the lasso automaton.
+func (b *Buchi) AcceptsLasso(l word.Lasso) bool {
+	return !Intersect(b, LassoAutomaton(b.ab, l)).IsEmpty()
+}
+
+// LimitOfPrefixClosed returns a Büchi automaton for lim(L(a)) where L(a)
+// must be prefix-closed: trim to states with an infinite continuation and
+// accept with every state. By König's lemma this accepts exactly the
+// ω-words all of whose prefixes are in L(a).
+func LimitOfPrefixClosed(a *nfa.NFA) (*Buchi, error) {
+	if ok, w := a.IsPrefixClosed(); !ok {
+		return nil, fmt.Errorf("buchi: language is not prefix-closed (witness prefix %v)", w)
+	}
+	return limitOfPrefixClosedUnchecked(a), nil
+}
+
+// LimitOfAllAccepting is LimitOfPrefixClosed for automata whose every
+// state accepts — the shape produced by transition systems — where
+// prefix-closure holds by construction and only the cheap structural
+// check is needed.
+func LimitOfAllAccepting(a *nfa.NFA) (*Buchi, error) {
+	for i := 0; i < a.NumStates(); i++ {
+		if !a.Accepting(nfa.State(i)) {
+			return nil, fmt.Errorf("buchi: state %d is not accepting; use LimitOfPrefixClosed", i)
+		}
+	}
+	return limitOfPrefixClosedUnchecked(a), nil
+}
+
+// limitOfPrefixClosedUnchecked is LimitOfPrefixClosed without the
+// (expensive) prefix-closure validation.
+func limitOfPrefixClosedUnchecked(a *nfa.NFA) *Buchi {
+	e := a.RemoveEpsilon().Trim()
+	// Iteratively remove dead ends: states with no successors cannot lie
+	// on an infinite path.
+	n := e.NumStates()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			hasSucc := false
+			for _, sym := range e.Alphabet().Symbols() {
+				for _, t := range e.Succ(nfa.State(i), sym) {
+					if alive[t] {
+						hasSucc = true
+						break
+					}
+				}
+				if hasSucc {
+					break
+				}
+			}
+			if !hasSucc {
+				alive[i] = false
+				changed = true
+			}
+		}
+	}
+	b := New(a.Alphabet())
+	keep := make([]State, n)
+	for i := range keep {
+		keep[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			keep[i] = b.AddState(true)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if keep[i] < 0 {
+			continue
+		}
+		for _, sym := range e.Alphabet().Symbols() {
+			for _, t := range e.Succ(nfa.State(i), sym) {
+				if keep[t] >= 0 {
+					b.AddTransition(keep[i], sym, keep[t])
+				}
+			}
+		}
+	}
+	for _, s := range e.Initial() {
+		if keep[s] >= 0 {
+			b.SetInitial(keep[s])
+		}
+	}
+	return b
+}
+
+// Limit returns a Büchi automaton for lim(L(a)) = {x | infinitely many
+// prefixes of x are in L(a)} for an arbitrary regular L(a): determinize,
+// then accept on visiting accepting DFA states infinitely often. This is
+// sound because the run of a DFA over an ω-word is unique.
+func Limit(a *nfa.NFA) *Buchi {
+	d := a.Determinize()
+	b := New(a.Alphabet())
+	for i := 0; i < d.NumStates(); i++ {
+		b.AddState(d.Accepting(nfa.State(i)))
+	}
+	for i := 0; i < d.NumStates(); i++ {
+		for _, sym := range a.Alphabet().Symbols() {
+			if t, ok := d.Delta(nfa.State(i), sym); ok {
+				b.AddTransition(State(i), sym, State(t))
+			}
+		}
+	}
+	if d.Initial() >= 0 {
+		b.SetInitial(State(d.Initial()))
+	}
+	return b
+}
+
+// Included reports whether L_ω(a) ⊆ L_ω(c), using rank-based
+// complementation of c. On failure it returns an accepted
+// counterexample lasso in L_ω(a) \ L_ω(c).
+func Included(a, c *Buchi) (bool, word.Lasso, error) {
+	comp, err := c.Complement()
+	if err != nil {
+		return false, word.Lasso{}, fmt.Errorf("inclusion check: %w", err)
+	}
+	l, ok := Intersect(a, comp).AcceptingLasso()
+	if ok {
+		return false, l, nil
+	}
+	return true, word.Lasso{}, nil
+}
+
+// String renders the automaton for debugging.
+func (b *Buchi) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Buchi(%d states, initial %v)\n", b.NumStates(), b.initial)
+	for i := range b.trans {
+		mark := " "
+		if b.accepting[i] {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s%d:", mark, i)
+		syms := make([]alphabet.Symbol, 0, len(b.trans[i]))
+		for sym := range b.trans[i] {
+			syms = append(syms, sym)
+		}
+		sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
+		for _, sym := range syms {
+			fmt.Fprintf(&sb, " %s->%v", b.ab.Name(sym), b.trans[i][sym])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

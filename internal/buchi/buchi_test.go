@@ -1,0 +1,411 @@
+package buchi
+
+import (
+	"math/rand"
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/gen"
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// infManyA returns a Büchi automaton over {a,b} accepting words with
+// infinitely many a's.
+func infManyA(ab *alphabet.Alphabet) *Buchi {
+	b := New(ab)
+	q0 := b.AddState(false)
+	q1 := b.AddState(true)
+	sa, sb := ab.Symbol("a"), ab.Symbol("b")
+	b.AddTransition(q0, sb, q0)
+	b.AddTransition(q0, sa, q1)
+	b.AddTransition(q1, sa, q1)
+	b.AddTransition(q1, sb, q0)
+	b.SetInitial(q0)
+	return b
+}
+
+// finManyA returns a Büchi automaton accepting words with finitely many
+// a's (eventually only b's).
+func finManyA(ab *alphabet.Alphabet) *Buchi {
+	b := New(ab)
+	q0 := b.AddState(false)
+	q1 := b.AddState(true)
+	sa, sb := ab.Symbol("a"), ab.Symbol("b")
+	b.AddTransition(q0, sa, q0)
+	b.AddTransition(q0, sb, q0)
+	b.AddTransition(q0, sb, q1)
+	b.AddTransition(q1, sb, q1)
+	b.SetInitial(q0)
+	return b
+}
+
+func lasso(ab *alphabet.Alphabet, prefix, loop string) word.Lasso {
+	toWord := func(s string) word.Word {
+		var w word.Word
+		for _, r := range s {
+			w = append(w, ab.Symbol(string(r)))
+		}
+		return w
+	}
+	return word.MustLasso(toWord(prefix), toWord(loop))
+}
+
+func TestAcceptsLasso(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	inf := infManyA(ab)
+	fin := finManyA(ab)
+	tests := []struct {
+		prefix, loop string
+		wantInf      bool
+	}{
+		{"", "a", true},
+		{"", "b", false},
+		{"ab", "ba", true},
+		{"aaaa", "b", false},
+		{"b", "ab", true},
+	}
+	for _, tc := range tests {
+		l := lasso(ab, tc.prefix, tc.loop)
+		if got := inf.AcceptsLasso(l); got != tc.wantInf {
+			t.Errorf("infManyA accepts %s = %v, want %v", l.String(ab), got, tc.wantInf)
+		}
+		if got := fin.AcceptsLasso(l); got != !tc.wantInf {
+			t.Errorf("finManyA accepts %s = %v, want %v", l.String(ab), got, !tc.wantInf)
+		}
+	}
+}
+
+func TestIsEmptyAndWitness(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	b := infManyA(ab)
+	l, ok := b.AcceptingLasso()
+	if !ok {
+		t.Fatal("infManyA reported empty")
+	}
+	if !b.AcceptsLasso(l) {
+		t.Errorf("witness %s not accepted by its own automaton", l.String(ab))
+	}
+	// Empty automaton: accepting state unreachable from a cycle.
+	e := New(ab)
+	q0 := e.AddState(false)
+	q1 := e.AddState(true)
+	e.AddTransition(q0, ab.Symbol("a"), q0) // cycle without acceptance
+	e.AddTransition(q0, ab.Symbol("b"), q1) // accepting but no cycle
+	e.SetInitial(q0)
+	if !e.IsEmpty() {
+		t.Error("automaton with acceptance off-cycle reported nonempty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	inf := infManyA(ab)
+	fin := finManyA(ab)
+	both := Intersect(inf, fin)
+	if !both.IsEmpty() {
+		l, _ := both.AcceptingLasso()
+		t.Errorf("inf∩fin nonempty: %s", l.String(ab))
+	}
+	// inf ∩ (words with infinitely many b's): (ab)^ω accepted.
+	infB := New(ab)
+	q0 := infB.AddState(false)
+	q1 := infB.AddState(true)
+	infB.AddTransition(q0, ab.Symbol("a"), q0)
+	infB.AddTransition(q0, ab.Symbol("b"), q1)
+	infB.AddTransition(q1, ab.Symbol("b"), q1)
+	infB.AddTransition(q1, ab.Symbol("a"), q0)
+	infB.SetInitial(q0)
+	prod := Intersect(inf, infB)
+	for _, tc := range []struct {
+		prefix, loop string
+		want         bool
+	}{
+		{"", "ab", true},
+		{"", "a", false},
+		{"", "b", false},
+		{"bbb", "ba", true},
+	} {
+		l := lasso(ab, tc.prefix, tc.loop)
+		if got := prod.AcceptsLasso(l); got != tc.want {
+			t.Errorf("product accepts %s = %v, want %v", l.String(ab), got, tc.want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	u := Union(infManyA(ab), finManyA(ab)) // should be Σ^ω
+	for _, tc := range []struct{ prefix, loop string }{
+		{"", "a"}, {"", "b"}, {"ab", "ab"}, {"bbb", "a"},
+	} {
+		l := lasso(ab, tc.prefix, tc.loop)
+		if !u.AcceptsLasso(l) {
+			t.Errorf("union rejects %s", l.String(ab))
+		}
+	}
+}
+
+func TestReducePreservesLanguage(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	b := infManyA(ab)
+	// Add junk: a dead state reachable but unable to accept.
+	dead := b.AddState(false)
+	b.AddTransition(0, ab.Symbol("b"), dead)
+	b.AddTransition(dead, ab.Symbol("b"), dead)
+	r := b.Reduce()
+	if r.NumStates() != 2 {
+		t.Errorf("Reduce left %d states, want 2", r.NumStates())
+	}
+	for _, tc := range []struct {
+		prefix, loop string
+		want         bool
+	}{
+		{"", "a", true}, {"", "b", false}, {"ab", "ba", true},
+	} {
+		l := lasso(ab, tc.prefix, tc.loop)
+		if got := r.AcceptsLasso(l); got != tc.want {
+			t.Errorf("reduced accepts %s = %v, want %v", l.String(ab), got, tc.want)
+		}
+	}
+}
+
+func TestPrefixNFA(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	// Automaton accepting only a^ω from initial: pre = a*.
+	b := New(ab)
+	q0 := b.AddState(true)
+	b.AddTransition(q0, ab.Symbol("a"), q0)
+	b.AddTransition(q0, ab.Symbol("b"), b.AddState(false)) // dead branch
+	b.SetInitial(q0)
+	p := b.PrefixNFA()
+	for _, tc := range []struct {
+		w    string
+		want bool
+	}{
+		{"", true}, {"a", true}, {"aaa", true}, {"b", false}, {"ab", false},
+	} {
+		var w word.Word
+		for _, r := range tc.w {
+			w = append(w, ab.Symbol(string(r)))
+		}
+		if got := p.Accepts(w); got != tc.want {
+			t.Errorf("pre(a^ω) accepts %q = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestLimitOfPrefixClosed(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	// L = prefix language of (ab)*: words alternating starting with a.
+	a := nfa.New(ab)
+	q0 := a.AddState(true)
+	q1 := a.AddState(true)
+	a.AddTransition(q0, ab.Symbol("a"), q1)
+	a.AddTransition(q1, ab.Symbol("b"), q0)
+	a.SetInitial(q0)
+	b, err := LimitOfPrefixClosed(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AcceptsLasso(lasso(ab, "", "ab")) {
+		t.Error("lim rejects (ab)^ω")
+	}
+	if b.AcceptsLasso(lasso(ab, "", "a")) {
+		t.Error("lim accepts a^ω")
+	}
+	// Non-prefix-closed input must be rejected.
+	bad := nfa.New(ab)
+	p0 := bad.AddState(false)
+	p1 := bad.AddState(true)
+	bad.AddTransition(p0, ab.Symbol("a"), p1)
+	bad.SetInitial(p0)
+	if _, err := LimitOfPrefixClosed(bad); err == nil {
+		t.Error("LimitOfPrefixClosed accepted a non-prefix-closed language")
+	}
+}
+
+func TestLimitGeneral(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	// L = words ending in a: lim(L) = words with infinitely many a's.
+	a := nfa.New(ab)
+	q0 := a.AddState(false)
+	q1 := a.AddState(true)
+	for _, s := range []nfa.State{q0, q1} {
+		a.AddTransition(s, ab.Symbol("a"), q1)
+		a.AddTransition(s, ab.Symbol("b"), q0)
+	}
+	a.SetInitial(q0)
+	b := Limit(a)
+	ref := infManyA(ab)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		l := gen.Lasso(rng, ab, 4, 3)
+		if got, want := b.AcceptsLasso(l), ref.AcceptsLasso(l); got != want {
+			t.Errorf("lim accepts %s = %v, want %v", l.String(ab), got, want)
+		}
+	}
+}
+
+func TestDropAcceptance(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	b := infManyA(ab).DropAcceptance()
+	if !b.AcceptsLasso(lasso(ab, "", "b")) {
+		t.Error("acceptance-free automaton rejects b^ω")
+	}
+}
+
+func TestComplementSmall(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	inf := infManyA(ab)
+	comp, err := inf.Complement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		prefix, loop string
+		inInf        bool
+	}{
+		{"", "a", true},
+		{"", "b", false},
+		{"ab", "ba", true},
+		{"aaaa", "b", false},
+		{"b", "ab", true},
+		{"", "ab", true},
+		{"ba", "bba", true},
+	} {
+		l := lasso(ab, tc.prefix, tc.loop)
+		if got := comp.AcceptsLasso(l); got != !tc.inInf {
+			t.Errorf("complement accepts %s = %v, want %v", l.String(ab), got, !tc.inInf)
+		}
+	}
+	// comp ∩ inf must be empty.
+	if !Intersect(comp, inf).IsEmpty() {
+		t.Error("L ∩ complement(L) nonempty")
+	}
+}
+
+func TestComplementEmptyAndUniversal(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	empty := New(ab)
+	comp, err := empty.Complement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		l := gen.Lasso(rng, ab, 3, 3)
+		if !comp.AcceptsLasso(l) {
+			t.Errorf("complement of ∅ rejects %s", l.String(ab))
+		}
+	}
+	u := UniversalAutomaton(ab)
+	compU, err := u.Complement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compU.IsEmpty() {
+		l, _ := compU.AcceptingLasso()
+		t.Errorf("complement of Σ^ω accepts %s", l.String(ab))
+	}
+}
+
+// TestQuickComplementPartition: on random Büchi automata, every sampled
+// lasso is accepted by exactly one of the automaton and its complement.
+func TestQuickComplementPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ab := gen.Letters(2)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(4)
+		b := randomBuchi(rng, ab, n)
+		comp, err := b.Complement()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 25; i++ {
+			l := gen.Lasso(rng, ab, 3, 3)
+			inB := b.AcceptsLasso(l)
+			inC := comp.AcceptsLasso(l)
+			if inB == inC {
+				t.Fatalf("trial %d: %s in both or neither (B=%v C=%v)\n%s", trial, l.String(ab), inB, inC, b)
+			}
+		}
+		if !Intersect(b, comp).IsEmpty() {
+			t.Fatalf("trial %d: L ∩ complement nonempty", trial)
+		}
+	}
+}
+
+func randomBuchi(rng *rand.Rand, ab *alphabet.Alphabet, n int) *Buchi {
+	b := New(ab)
+	for i := 0; i < n; i++ {
+		b.AddState(rng.Float64() < 0.4)
+	}
+	for i := 0; i < n; i++ {
+		for _, sym := range ab.Symbols() {
+			for k := 0; k < 2; k++ {
+				if rng.Float64() < 0.55 {
+					b.AddTransition(State(i), sym, State(rng.Intn(n)))
+				}
+			}
+		}
+	}
+	b.SetInitial(0)
+	return b
+}
+
+func TestIncludedWitness(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	inf := infManyA(ab)
+	uni := UniversalAutomaton(ab)
+	ok, _, err := Included(inf, uni)
+	if err != nil || !ok {
+		t.Errorf("inf ⊆ Σ^ω = %v, %v", ok, err)
+	}
+	ok, l, err := Included(uni, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Σ^ω ⊆ inf reported true")
+	}
+	if !uni.AcceptsLasso(l) || inf.AcceptsLasso(l) {
+		t.Errorf("counterexample %s not in Σ^ω \\ inf", l.String(ab))
+	}
+}
+
+func TestLassoAutomaton(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30; i++ {
+		l := gen.Lasso(rng, ab, 3, 3)
+		auto := LassoAutomaton(ab, l)
+		if !auto.AcceptsLasso(l) {
+			t.Fatalf("lasso automaton rejects its own word %s", l.String(ab))
+		}
+		other := gen.Lasso(rng, ab, 3, 3)
+		if got, want := auto.AcceptsLasso(other), other.Equal(l); got != want {
+			t.Fatalf("lasso automaton for %s accepts %s = %v, want %v",
+				l.String(ab), other.String(ab), got, want)
+		}
+	}
+}
+
+func TestFromNFARoundTrip(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	a := infManyA(ab).ToNFA()
+	b, err := FromNFA(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AcceptsLasso(lasso(ab, "", "a")) || b.AcceptsLasso(lasso(ab, "", "b")) {
+		t.Error("FromNFA(ToNFA(b)) changed the ω-language")
+	}
+	eps := nfa.New(ab)
+	q := eps.AddState(true)
+	eps.AddTransition(q, alphabet.Epsilon, q)
+	eps.SetInitial(q)
+	if _, err := FromNFA(eps); err == nil {
+		t.Error("FromNFA accepted an automaton with ε-transitions")
+	}
+}

@@ -1,0 +1,211 @@
+package buchi
+
+import (
+	"fmt"
+
+	"relive/internal/alphabet"
+)
+
+// Generalized is a generalized Büchi automaton: acceptance demands
+// visiting every acceptance set infinitely often. It is the natural
+// output shape of tableau constructions (one set per Until subformula)
+// and of multi-constraint intersections; Degeneralize converts it to an
+// ordinary Büchi automaton with a counter.
+type Generalized struct {
+	ab      *alphabet.Alphabet
+	initial []State
+	sets    [][]bool // sets[k][s]: state s belongs to acceptance set k
+	trans   []map[alphabet.Symbol][]State
+}
+
+// NewGeneralized returns an empty generalized Büchi automaton with the
+// given number of acceptance sets.
+func NewGeneralized(ab *alphabet.Alphabet, numSets int) *Generalized {
+	return &Generalized{ab: ab, sets: make([][]bool, numSets)}
+}
+
+// Alphabet returns the automaton's alphabet.
+func (g *Generalized) Alphabet() *alphabet.Alphabet { return g.ab }
+
+// NumStates returns the number of states.
+func (g *Generalized) NumStates() int { return len(g.trans) }
+
+// NumSets returns the number of acceptance sets.
+func (g *Generalized) NumSets() int { return len(g.sets) }
+
+// AddState adds a fresh state.
+func (g *Generalized) AddState() State {
+	s := State(len(g.trans))
+	g.trans = append(g.trans, nil)
+	for k := range g.sets {
+		g.sets[k] = append(g.sets[k], false)
+	}
+	return s
+}
+
+// SetInitial marks s initial.
+func (g *Generalized) SetInitial(s State) { g.initial = append(g.initial, s) }
+
+// AddToSet puts s into acceptance set k.
+func (g *Generalized) AddToSet(k int, s State) error {
+	if k < 0 || k >= len(g.sets) {
+		return fmt.Errorf("buchi: acceptance set %d out of range [0,%d)", k, len(g.sets))
+	}
+	g.sets[k][s] = true
+	return nil
+}
+
+// AddTransition adds from --sym--> to.
+func (g *Generalized) AddTransition(from State, sym alphabet.Symbol, to State) {
+	if sym == alphabet.Epsilon {
+		panic("buchi: ε-transition added to generalized Büchi automaton")
+	}
+	m := g.trans[from]
+	if m == nil {
+		m = make(map[alphabet.Symbol][]State)
+		g.trans[from] = m
+	}
+	for _, t := range m[sym] {
+		if t == to {
+			return
+		}
+	}
+	m[sym] = append(m[sym], to)
+}
+
+// Degeneralize converts the automaton to an equivalent ordinary Büchi
+// automaton by the counter construction: counter value v < k awaits
+// acceptance set v, advancing when the target state belongs to it; the
+// value k marks a completed round (semantically 0) and carries the
+// Büchi acceptance. With zero acceptance sets every infinite run
+// accepts, so all states accept.
+func (g *Generalized) Degeneralize() *Buchi {
+	k := len(g.sets)
+	b := New(g.ab)
+	if k == 0 {
+		for range g.trans {
+			b.AddState(true)
+		}
+		for i := range g.trans {
+			for sym, ts := range g.trans[i] {
+				for _, t := range ts {
+					b.AddTransition(State(i), sym, t)
+				}
+			}
+		}
+		for _, s := range g.initial {
+			b.SetInitial(s)
+		}
+		return b
+	}
+	bump := func(counter int, target State) int {
+		v := counter
+		if v == k {
+			v = 0
+		}
+		if g.sets[v][target] {
+			v++
+		}
+		return v
+	}
+	type cfg struct {
+		s       State
+		counter int
+	}
+	index := map[cfg]State{}
+	var queue []cfg
+	intern := func(c cfg) State {
+		if s, ok := index[c]; ok {
+			return s
+		}
+		s := b.AddState(c.counter == k)
+		index[c] = s
+		queue = append(queue, c)
+		return s
+	}
+	for _, s := range g.initial {
+		b.SetInitial(intern(cfg{s: s, counter: 0}))
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		c := queue[qi]
+		from := index[c]
+		for sym, ts := range g.trans[c.s] {
+			for _, t := range ts {
+				b.AddTransition(from, sym, intern(cfg{s: t, counter: bump(c.counter, t)}))
+			}
+		}
+	}
+	return b
+}
+
+// IntersectAll builds a generalized Büchi automaton for the
+// intersection of several Büchi automata over one alphabet — a plain
+// product with one acceptance set per operand — and degeneralizes it.
+// For many operands this is smaller than iterated binary Intersect.
+func IntersectAll(autos ...*Buchi) (*Buchi, error) {
+	if len(autos) == 0 {
+		return nil, fmt.Errorf("buchi: IntersectAll needs at least one automaton")
+	}
+	if len(autos) == 1 {
+		return autos[0].Clone(), nil
+	}
+	ab := autos[0].ab
+	g := NewGeneralized(ab, len(autos))
+	type vec string // packed state vector
+	pack := func(states []State) vec {
+		b := make([]byte, 0, len(states)*2)
+		for _, s := range states {
+			b = append(b, byte(s), byte(s>>8))
+		}
+		return vec(b)
+	}
+	index := map[vec]State{}
+	var queue [][]State
+	intern := func(states []State) State {
+		k := pack(states)
+		if s, ok := index[k]; ok {
+			return s
+		}
+		s := g.AddState()
+		for ai, a := range autos {
+			if a.accepting[states[ai]] {
+				if err := g.AddToSet(ai, s); err != nil {
+					panic(err) // set index is structurally in range
+				}
+			}
+		}
+		index[k] = s
+		queue = append(queue, append([]State(nil), states...))
+		return s
+	}
+	// Cartesian product of initial states.
+	var initRec func(prefix []State, i int)
+	initRec = func(prefix []State, i int) {
+		if i == len(autos) {
+			g.SetInitial(intern(prefix))
+			return
+		}
+		for _, s := range autos[i].initial {
+			initRec(append(prefix, s), i+1)
+		}
+	}
+	initRec(nil, 0)
+	for qi := 0; qi < len(queue); qi++ {
+		states := queue[qi]
+		from := index[pack(states)]
+		for _, sym := range ab.Symbols() {
+			var step func(prefix []State, i int)
+			step = func(prefix []State, i int) {
+				if i == len(autos) {
+					g.AddTransition(from, sym, intern(prefix))
+					return
+				}
+				for _, t := range autos[i].trans[states[i]][sym] {
+					step(append(prefix, t), i+1)
+				}
+			}
+			step(nil, 0)
+		}
+	}
+	return g.Degeneralize(), nil
+}

@@ -1,0 +1,118 @@
+package buchi
+
+import (
+	"math/rand"
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/gen"
+)
+
+// TestGeneralizedInfAInfB builds a one-state GBA for "infinitely many a
+// and infinitely many b" and checks the degeneralization.
+func TestGeneralizedInfAInfB(t *testing.T) {
+	ab := alphabet.FromNames("a", "b")
+	sa, _ := ab.Lookup("a")
+	sb, _ := ab.Lookup("b")
+	g := NewGeneralized(ab, 2)
+	// States track the last letter so sets can be state-based.
+	q0 := g.AddState() // start
+	qa := g.AddState() // just read a
+	qb := g.AddState() // just read b
+	for _, q := range []State{q0, qa, qb} {
+		g.AddTransition(q, sa, qa)
+		g.AddTransition(q, sb, qb)
+	}
+	if err := g.AddToSet(0, qa); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddToSet(1, qb); err != nil {
+		t.Fatal(err)
+	}
+	g.SetInitial(q0)
+	b := g.Degeneralize()
+
+	for _, tc := range []struct {
+		prefix, loop string
+		want         bool
+	}{
+		{"", "ab", true},
+		{"", "a", false},
+		{"", "b", false},
+		{"aab", "ba", true},
+		{"ab", "bb", false},
+	} {
+		l := lasso(ab, tc.prefix, tc.loop)
+		if got := b.AcceptsLasso(l); got != tc.want {
+			t.Errorf("degeneralized accepts %s = %v, want %v", l.String(ab), got, tc.want)
+		}
+	}
+}
+
+func TestGeneralizedZeroSets(t *testing.T) {
+	ab := alphabet.FromNames("a")
+	g := NewGeneralized(ab, 0)
+	q := g.AddState()
+	g.AddTransition(q, ab.Symbols()[0], q)
+	g.SetInitial(q)
+	b := g.Degeneralize()
+	if !b.AcceptsLasso(lasso(ab, "", "a")) {
+		t.Error("zero-set GBA should accept every infinite run")
+	}
+}
+
+func TestGeneralizedSetOutOfRange(t *testing.T) {
+	g := NewGeneralized(alphabet.FromNames("a"), 1)
+	s := g.AddState()
+	if err := g.AddToSet(1, s); err == nil {
+		t.Error("out-of-range acceptance set accepted")
+	}
+	if err := g.AddToSet(-1, s); err == nil {
+		t.Error("negative acceptance set accepted")
+	}
+}
+
+// TestQuickIntersectAllAgreesWithBinary: the generalized product of k
+// automata accepts exactly the intersection, cross-checked against
+// iterated binary intersection on sampled lassos.
+func TestQuickIntersectAllAgreesWithBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	ab := gen.Letters(2)
+	for trial := 0; trial < 25; trial++ {
+		k := 2 + rng.Intn(2)
+		autos := make([]*Buchi, k)
+		for i := range autos {
+			autos[i] = randomBuchi(rng, ab, 1+rng.Intn(3))
+		}
+		all, err := IntersectAll(autos...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary := autos[0]
+		for _, a := range autos[1:] {
+			binary = Intersect(binary, a)
+		}
+		for i := 0; i < 25; i++ {
+			l := gen.Lasso(rng, ab, 3, 3)
+			if all.AcceptsLasso(l) != binary.AcceptsLasso(l) {
+				t.Fatalf("trial %d: IntersectAll disagrees with binary intersection on %s",
+					trial, l.String(ab))
+			}
+		}
+	}
+}
+
+func TestIntersectAllDegenerate(t *testing.T) {
+	if _, err := IntersectAll(); err == nil {
+		t.Error("empty IntersectAll accepted")
+	}
+	ab := alphabet.FromNames("a", "b")
+	one := infManyA(ab)
+	got, err := IntersectAll(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AcceptsLasso(lasso(ab, "", "a")) || got.AcceptsLasso(lasso(ab, "", "b")) {
+		t.Error("single-operand IntersectAll changed the language")
+	}
+}

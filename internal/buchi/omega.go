@@ -1,0 +1,86 @@
+package buchi
+
+import (
+	"fmt"
+
+	"relive/internal/alphabet"
+	"relive/internal/nfa"
+)
+
+// OmegaConcat returns a Büchi automaton for U·V^ω, where U = L(prefix)
+// and V = L(loop) are regular languages of finite words. V must not
+// contain the empty word (V^ω would be ill-defined); U may.
+//
+// Construction: an "anchor" state marks the seam between consecutive
+// V-words. The anchor simulates V's initial states; any transition of V
+// into an accepting state may instead re-enter the anchor, and any
+// transition of U into an accepting state may enter the anchor to start
+// the loop. The anchor is the only Büchi-accepting state, so accepted
+// runs cross a seam infinitely often, decomposing the word as u·v₁·v₂⋯
+// with u ∈ U and vᵢ ∈ V.
+func OmegaConcat(prefix, loop *nfa.NFA) (*Buchi, error) {
+	u := prefix.RemoveEpsilon().Trim()
+	v := loop.RemoveEpsilon().Trim()
+	if v.Accepts(nil) {
+		return nil, fmt.Errorf("buchi: loop language contains ε; V^ω is ill-defined")
+	}
+	if v.IsEmpty() || u.IsEmpty() {
+		return New(u.Alphabet()), nil // U·V^ω is empty
+	}
+	ab := u.Alphabet()
+	b := New(ab)
+	// States: u-states, then v-states, then the anchor.
+	uBase := 0
+	for i := 0; i < u.NumStates(); i++ {
+		b.AddState(false)
+	}
+	vBase := u.NumStates()
+	for i := 0; i < v.NumStates(); i++ {
+		b.AddState(false)
+	}
+	anchor := b.AddState(true)
+
+	vAccepting := func(s nfa.State) bool { return v.Accepting(s) }
+	// U-internal transitions, plus seam entry on transitions into
+	// accepting U-states.
+	for i := 0; i < u.NumStates(); i++ {
+		for _, sym := range ab.Symbols() {
+			for _, t := range u.Succ(nfa.State(i), sym) {
+				b.AddTransition(State(uBase+i), sym, State(uBase+int(t)))
+				if u.Accepting(t) {
+					b.AddTransition(State(uBase+i), sym, anchor)
+				}
+			}
+		}
+	}
+	// V-internal transitions plus seams.
+	addVStep := func(from State, sym alphabet.Symbol, t nfa.State) {
+		b.AddTransition(from, sym, State(vBase+int(t)))
+		if vAccepting(t) {
+			b.AddTransition(from, sym, anchor)
+		}
+	}
+	for i := 0; i < v.NumStates(); i++ {
+		for _, sym := range ab.Symbols() {
+			for _, t := range v.Succ(nfa.State(i), sym) {
+				addVStep(State(vBase+i), sym, t)
+			}
+		}
+	}
+	// Anchor simulates V's initial states.
+	for _, init := range v.Initial() {
+		for _, sym := range ab.Symbols() {
+			for _, t := range v.Succ(init, sym) {
+				addVStep(anchor, sym, t)
+			}
+		}
+	}
+	// Initial states: U's initials; the anchor too when ε ∈ U.
+	for _, init := range u.Initial() {
+		b.SetInitial(State(uBase + int(init)))
+		if u.Accepting(init) {
+			b.SetInitial(anchor)
+		}
+	}
+	return b, nil
+}

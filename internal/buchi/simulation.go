@@ -1,0 +1,119 @@
+package buchi
+
+// DirectSimulation computes the direct (strong) simulation preorder on
+// the automaton's states as a greatest fixpoint: sim[p][q] means q
+// direct-simulates p, i.e. q is accepting whenever p is, and every
+// a-successor of p is direct-simulated by some a-successor of q.
+// Quotienting by mutual direct simulation preserves the accepted
+// ω-language, which makes it a safe reduction before the expensive
+// constructions (products, complementation).
+func (b *Buchi) DirectSimulation() [][]bool {
+	n := b.NumStates()
+	sim := make([][]bool, n)
+	for p := 0; p < n; p++ {
+		sim[p] = make([]bool, n)
+		for q := 0; q < n; q++ {
+			// Initial over-approximation: acceptance condition only.
+			sim[p][q] = !b.accepting[p] || b.accepting[q]
+		}
+	}
+	syms := b.ab.Symbols()
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				if !sim[p][q] {
+					continue
+				}
+				ok := true
+				for _, a := range syms {
+					for _, ps := range b.trans[p][a] {
+						matched := false
+						for _, qs := range b.trans[q][a] {
+							if sim[ps][qs] {
+								matched = true
+								break
+							}
+						}
+						if !matched {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						break
+					}
+				}
+				if !ok {
+					sim[p][q] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return sim
+}
+
+// QuotientBySimulation merges states that mutually direct-simulate each
+// other and drops transitions to simulation-dominated duplicates,
+// returning a language-equivalent, usually smaller automaton.
+func (b *Buchi) QuotientBySimulation() *Buchi {
+	n := b.NumStates()
+	if n == 0 {
+		return b.Clone()
+	}
+	sim := b.DirectSimulation()
+	// Representative per mutual-simulation class: the smallest index.
+	rep := make([]int, n)
+	for p := 0; p < n; p++ {
+		rep[p] = p
+		for q := 0; q < p; q++ {
+			if sim[p][q] && sim[q][p] {
+				rep[p] = rep[q]
+				break
+			}
+		}
+	}
+	out := New(b.ab)
+	newID := make([]State, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for p := 0; p < n; p++ {
+		if rep[p] == p {
+			newID[p] = out.AddState(b.accepting[p])
+		}
+	}
+	for p := 0; p < n; p++ {
+		if rep[p] != p {
+			continue
+		}
+		for sym, ts := range b.trans[p] {
+			// Keep only simulation-maximal targets: if t1 is simulated by
+			// a distinct sibling t2, the edge to t1 is redundant.
+			var keep []State
+			for _, t := range ts {
+				dominated := false
+				for _, u := range ts {
+					if rep[u] == rep[t] {
+						continue
+					}
+					if sim[t][u] {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					keep = append(keep, t)
+				}
+			}
+			for _, t := range keep {
+				out.AddTransition(newID[p], sym, newID[rep[t]])
+			}
+		}
+	}
+	for _, s := range b.initial {
+		out.SetInitial(newID[rep[s]])
+	}
+	return out.Reduce()
+}

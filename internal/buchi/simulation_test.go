@@ -1,0 +1,114 @@
+package buchi
+
+import (
+	"math/rand"
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/gen"
+)
+
+func TestSimulationMergesTwins(t *testing.T) {
+	ab := alphabet.FromNames("a")
+	b := New(ab)
+	q0 := b.AddState(false)
+	l := b.AddState(true)
+	r := b.AddState(true)
+	sa := ab.Symbols()[0]
+	b.AddTransition(q0, sa, l)
+	b.AddTransition(q0, sa, r)
+	b.AddTransition(l, sa, l)
+	b.AddTransition(r, sa, r)
+	b.SetInitial(q0)
+	q := b.QuotientBySimulation()
+	if q.NumStates() != 2 {
+		t.Errorf("quotient has %d states, want 2", q.NumStates())
+	}
+	if !q.AcceptsLasso(lasso(ab, "", "a")) {
+		t.Error("quotient rejects a^ω")
+	}
+}
+
+func TestSimulationPreservesAcceptanceDistinction(t *testing.T) {
+	// Accepting and non-accepting sinks must not merge.
+	ab := alphabet.FromNames("a")
+	b := New(ab)
+	acc := b.AddState(true)
+	non := b.AddState(false)
+	sa := ab.Symbols()[0]
+	b.AddTransition(acc, sa, acc)
+	b.AddTransition(non, sa, non)
+	b.SetInitial(acc)
+	sim := b.DirectSimulation()
+	if sim[int(acc)][int(non)] {
+		t.Error("non-accepting sink simulates accepting sink")
+	}
+	if !sim[int(non)][int(acc)] {
+		t.Error("accepting self-loop should simulate non-accepting self-loop")
+	}
+}
+
+// TestQuickSimulationQuotientPreservesLanguage: the quotient accepts
+// exactly the same lassos on random automata.
+func TestQuickSimulationQuotientPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	ab := gen.Letters(2)
+	for trial := 0; trial < 50; trial++ {
+		b := randomBuchi(rng, ab, 1+rng.Intn(6))
+		q := b.QuotientBySimulation()
+		if q.NumStates() > b.NumStates() {
+			t.Fatalf("trial %d: quotient grew %d -> %d", trial, b.NumStates(), q.NumStates())
+		}
+		for i := 0; i < 25; i++ {
+			l := gen.Lasso(rng, ab, 3, 3)
+			if b.AcceptsLasso(l) != q.AcceptsLasso(l) {
+				t.Fatalf("trial %d: quotient changed the language on %s\noriginal:\n%s\nquotient:\n%s",
+					trial, l.String(ab), b, q)
+			}
+		}
+	}
+}
+
+// TestQuickSimulationSoundness: sim[p][q] implies language containment
+// from p into q, checked on sampled lassos.
+func TestQuickSimulationSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	ab := gen.Letters(2)
+	for trial := 0; trial < 25; trial++ {
+		b := randomBuchi(rng, ab, 1+rng.Intn(5))
+		sim := b.DirectSimulation()
+		n := b.NumStates()
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				if !sim[p][q] || p == q {
+					continue
+				}
+				fromP := restartAt(b, State(p))
+				fromQ := restartAt(b, State(q))
+				for i := 0; i < 10; i++ {
+					l := gen.Lasso(rng, ab, 2, 3)
+					if fromP.AcceptsLasso(l) && !fromQ.AcceptsLasso(l) {
+						t.Fatalf("trial %d: sim[%d][%d] but language not contained on %s",
+							trial, p, q, l.String(ab))
+					}
+				}
+			}
+		}
+	}
+}
+
+func restartAt(b *Buchi, s State) *Buchi {
+	c := New(b.Alphabet())
+	for i := 0; i < b.NumStates(); i++ {
+		c.AddState(b.Accepting(State(i)))
+	}
+	for i := 0; i < b.NumStates(); i++ {
+		for _, sym := range b.Alphabet().Symbols() {
+			for _, t := range b.Succ(State(i), sym) {
+				c.AddTransition(State(i), sym, t)
+			}
+		}
+	}
+	c.SetInitial(s)
+	return c
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"relive/internal/buchi"
+	"relive/internal/gen"
+	"relive/internal/ltl"
+)
+
+func TestIsSafetyAndLivenessClassics(t *testing.T) {
+	ab := gen.Letters(2)
+	tests := []struct {
+		formula  string
+		safety   bool
+		liveness bool
+	}{
+		{"G a", true, false},
+		{"G F a", false, true},
+		{"F a", false, true},
+		{"a", true, false},
+		{"true", true, true},
+		// With singleton labels over {a,b}, only a^ω violates a U b, so
+		// it is liveness (every prefix extends) but not safety.
+		{"a U b", false, true},
+		// a W b ≡ true over {a,b}: a^ω satisfies the □a disjunct.
+		{"a W b", true, true},
+		{"X a", true, false}, // "second letter is a" is safety
+		{"F G a", false, true},
+		// First letter a AND infinitely many b: genuinely mixed.
+		{"a & G F b", false, false},
+	}
+	for _, tc := range tests {
+		p := FromFormula(ltl.MustParse(tc.formula), ltl.Canonical(ab))
+		safe, _, err := IsSafetyProperty(p, ab)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.formula, err)
+		}
+		if safe != tc.safety {
+			t.Errorf("IsSafetyProperty(%q) = %v, want %v", tc.formula, safe, tc.safety)
+		}
+		live, _, err := IsLivenessProperty(p, ab)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.formula, err)
+		}
+		if live != tc.liveness {
+			t.Errorf("IsLivenessProperty(%q) = %v, want %v", tc.formula, live, tc.liveness)
+		}
+	}
+}
+
+func TestSafetyWitness(t *testing.T) {
+	ab := gen.Letters(2)
+	p := FromFormula(ltl.MustParse("G F a"), ltl.Canonical(ab))
+	safe, l, err := IsSafetyProperty(p, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("GFa reported safety")
+	}
+	// The witness lies in cl(P) \ P: every prefix extends into P, but
+	// the word itself violates it.
+	pa, err := p.Automaton(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.AcceptsLasso(l) {
+		t.Error("safety witness satisfies the property")
+	}
+}
+
+// TestQuickDecomposition validates P = Safety ∩ Liveness on random
+// formulas, both on sampled lassos and by checking the parts really are
+// safety/liveness properties.
+func TestQuickDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	ab := gen.Letters(2)
+	atoms := ab.Names()
+	for trial := 0; trial < 30; trial++ {
+		f := randomPropertyFormula(rng, atoms)
+		p := FromFormula(f, ltl.Canonical(ab))
+		dec, err := Decompose(p, ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := p.Automaton(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter := buchi.Intersect(dec.Safety, dec.Liveness)
+		for i := 0; i < 15; i++ {
+			l := gen.Lasso(rng, ab, 3, 3)
+			inP := pa.AcceptsLasso(l)
+			inSplit := inter.AcceptsLasso(l)
+			if inP != inSplit {
+				t.Fatalf("trial %d (%s): decomposition disagrees on %s: P=%v split=%v",
+					trial, f, l.String(ab), inP, inSplit)
+			}
+		}
+		// The safety part is a safety property...
+		safe, w, err := IsSafetyProperty(FromAutomaton(dec.Safety), ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !safe {
+			t.Fatalf("trial %d (%s): closure not safety, witness %s", trial, f, w.String(ab))
+		}
+		// ...and the liveness part a liveness property.
+		live, bad, err := IsLivenessProperty(FromAutomaton(dec.Liveness), ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !live {
+			t.Fatalf("trial %d (%s): liveness part not liveness, witness %s",
+				trial, f, bad.String(ab))
+		}
+	}
+}
+
+// TestQuickDeterministicComplement checks the two-copy complementation
+// against lasso membership on the deterministic closures.
+func TestQuickDeterministicComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	ab := gen.Letters(2)
+	atoms := ab.Names()
+	for trial := 0; trial < 30; trial++ {
+		p := FromFormula(randomPropertyFormula(rng, atoms), ltl.Canonical(ab))
+		closure, err := Closure(p, ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closure.IsDeterministic() {
+			t.Fatal("limit construction produced a nondeterministic automaton")
+		}
+		comp, err := closure.ComplementDeterministic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			l := gen.Lasso(rng, ab, 3, 3)
+			if closure.AcceptsLasso(l) == comp.AcceptsLasso(l) {
+				t.Fatalf("trial %d: deterministic complement wrong on %s", trial, l.String(ab))
+			}
+		}
+	}
+	// Nondeterministic input must be rejected.
+	nd := buchi.New(ab)
+	q := nd.AddState(true)
+	sym := ab.Symbols()[0]
+	r := nd.AddState(true)
+	nd.AddTransition(q, sym, q)
+	nd.AddTransition(q, sym, r)
+	nd.SetInitial(q)
+	if _, err := nd.ComplementDeterministic(); err == nil {
+		t.Error("nondeterministic automaton accepted by ComplementDeterministic")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"relive/internal/buchi"
+	"relive/internal/nfa"
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+// MachineClosureResult is the outcome of a machine-closure check; when
+// the structure is not machine closed, BadPrefix ∈ pre(L_ω) \ pre(Λ).
+type MachineClosureResult struct {
+	Holds     bool
+	BadPrefix word.Word
+}
+
+// MachineClosed decides whether (L_ω, Λ) is a machine closed live
+// structure (Definition 4.6): pre(L_ω) ⊆ pre(Λ). Both languages are
+// given as Büchi automata; Λ ⊆ L_ω is the caller's obligation.
+func MachineClosed(lomega, lambda *buchi.Buchi) (MachineClosureResult, error) {
+	ok, w := nfa.Included(lomega.PrefixNFA(), lambda.PrefixNFA())
+	if ok {
+		return MachineClosureResult{Holds: true}, nil
+	}
+	return MachineClosureResult{Holds: false, BadPrefix: w}, nil
+}
+
+// RelativeLivenessViaMachineClosure decides relative liveness through
+// the machine-closure connection stated after Theorem 4.5: P is a
+// relative liveness property of L_ω iff (L_ω, P ∩ L_ω) is machine
+// closed. It is a third, independent route to the same answer, used for
+// cross-validation and ablation benchmarks.
+func RelativeLivenessViaMachineClosure(sys *ts.System, p Property) (MachineClosureResult, error) {
+	trimmed, err := sys.Trim()
+	if err != nil {
+		return MachineClosureResult{Holds: true}, nil
+	}
+	behaviors, err := trimmed.Behaviors()
+	if err != nil {
+		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
+	}
+	pa, err := p.Automaton(sys.Alphabet())
+	if err != nil {
+		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
+	}
+	return MachineClosed(behaviors, buchi.Intersect(behaviors, pa))
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"relive/internal/buchi"
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// The checks in rliveness.go and rsafety.go take transition systems,
+// whose behaviors are limit-closed. Definitions 4.1 and 4.2, however,
+// are stated for arbitrary ω-languages, and Lemmas 4.3/4.4 hold in that
+// generality; these entry points accept any ω-regular L_ω as a Büchi
+// automaton. (Theorem 5.1 is the one result that genuinely needs limit
+// closure.)
+
+// RelativeLivenessOmega decides whether P is a relative liveness
+// property of the arbitrary ω-regular language L_ω(lomega), via
+// Lemma 4.3: pre(L_ω) = pre(L_ω ∩ P).
+func RelativeLivenessOmega(lomega *buchi.Buchi, p Property) (LivenessResult, error) {
+	ab := lomega.Alphabet()
+	pa, err := p.Automaton(ab)
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness (ω): %w", err)
+	}
+	preL := lomega.PrefixNFA()
+	preLP := buchi.Intersect(lomega, pa).PrefixNFA()
+	ok, w := nfa.Included(preL, preLP)
+	if ok {
+		return LivenessResult{Holds: true}, nil
+	}
+	return LivenessResult{Holds: false, BadPrefix: w}, nil
+}
+
+// RelativeSafetyOmega decides whether P is a relative safety property
+// of the arbitrary ω-regular language L_ω(lomega), via Lemma 4.4:
+// L_ω ∩ lim(pre(L_ω ∩ P)) ⊆ P.
+func RelativeSafetyOmega(lomega *buchi.Buchi, p Property) (SafetyResult, error) {
+	ab := lomega.Alphabet()
+	pa, err := p.Automaton(ab)
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety (ω): %w", err)
+	}
+	preLP := buchi.Intersect(lomega, pa).PrefixNFA().Trim()
+	if preLP.NumStates() == 0 {
+		return SafetyResult{Holds: true}, nil
+	}
+	limPre, err := buchi.LimitOfAllAccepting(preLP)
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety (ω): %w", err)
+	}
+	notP, err := p.NegationAutomaton(ab)
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety (ω): %w", err)
+	}
+	lhs := buchi.Intersect(lomega, limPre)
+	l, found := buchi.Intersect(lhs, notP).AcceptingLasso()
+	if found {
+		return SafetyResult{Holds: false, Violation: l}, nil
+	}
+	return SafetyResult{Holds: true}, nil
+}
+
+// SatisfiesOmega decides L_ω(lomega) ⊆ P.
+func SatisfiesOmega(lomega *buchi.Buchi, p Property) (SatisfactionResult, error) {
+	notP, err := p.NegationAutomaton(lomega.Alphabet())
+	if err != nil {
+		return SatisfactionResult{}, fmt.Errorf("satisfaction (ω): %w", err)
+	}
+	l, found := buchi.Intersect(lomega, notP).AcceptingLasso()
+	if found {
+		return SatisfactionResult{Holds: false, Counterexample: l}, nil
+	}
+	return SatisfactionResult{Holds: true}, nil
+}
+
+// IsLimitClosed reports whether L_ω(lomega) is limit closed
+// (L_ω = lim(pre(L_ω))), the precondition of Theorem 5.1. The witness
+// is an ω-word in lim(pre(L_ω)) \ L_ω when the check fails.
+func IsLimitClosed(lomega *buchi.Buchi) (bool, word.Lasso, error) {
+	pre := lomega.PrefixNFA().Trim()
+	if pre.NumStates() == 0 {
+		return true, word.Lasso{}, nil // empty language is limit closed
+	}
+	limPre, err := buchi.LimitOfAllAccepting(pre)
+	if err != nil {
+		return false, word.Lasso{}, err
+	}
+	// L_ω ⊆ lim(pre(L_ω)) always; check the converse.
+	ok, l, err := buchi.Included(limPre, lomega)
+	if err != nil {
+		return false, word.Lasso{}, fmt.Errorf("limit closure: %w", err)
+	}
+	if !ok {
+		return false, l, nil
+	}
+	return true, word.Lasso{}, nil
+}

@@ -1,0 +1,84 @@
+// Package core implements the contributions of Nitsche & Wolper
+// (PODC'97): deciding relative liveness and relative safety of ω-regular
+// properties over finite-state systems (Section 4), machine closure
+// (Definition 4.6), the conjunction theorem (Theorem 4.7), synthesis and
+// verification of fair implementations (Theorem 5.1), and verification
+// via behavior abstraction under simple homomorphisms (Sections 6–8).
+package core
+
+import (
+	"fmt"
+
+	"relive/internal/alphabet"
+	"relive/internal/buchi"
+	"relive/internal/ltl"
+)
+
+// Property is an ω-regular property P ⊆ Σ^ω, given either as a PLTL
+// formula with a labeling function or directly as a Büchi automaton.
+// Formula-backed properties negate syntactically; automaton-backed ones
+// complement with the rank-based construction.
+type Property struct {
+	formula   *ltl.Formula
+	labeling  *ltl.Labeling
+	automaton *buchi.Buchi
+}
+
+// FromFormula returns the property of all ω-words satisfying f under
+// lab. A nil lab defaults to the canonical Σ-labeling of the checked
+// system's alphabet (Definition 7.2).
+func FromFormula(f *ltl.Formula, lab *ltl.Labeling) Property {
+	return Property{formula: f, labeling: lab}
+}
+
+// FromAutomaton returns the property accepted by b.
+func FromAutomaton(b *buchi.Buchi) Property {
+	return Property{automaton: b}
+}
+
+// Formula returns the defining formula, if any.
+func (p Property) Formula() *ltl.Formula { return p.formula }
+
+// String describes the property.
+func (p Property) String() string {
+	if p.formula != nil {
+		return p.formula.String()
+	}
+	if p.automaton != nil {
+		return fmt.Sprintf("Büchi(%d states)", p.automaton.NumStates())
+	}
+	return "<empty property>"
+}
+
+func (p Property) labelingFor(ab *alphabet.Alphabet) *ltl.Labeling {
+	if p.labeling != nil {
+		return p.labeling
+	}
+	return ltl.Canonical(ab)
+}
+
+// Automaton returns a Büchi automaton for P over ab.
+func (p Property) Automaton(ab *alphabet.Alphabet) (*buchi.Buchi, error) {
+	switch {
+	case p.automaton != nil:
+		return p.automaton, nil
+	case p.formula != nil:
+		return ltl.TranslateBuchi(p.formula, p.labelingFor(ab)), nil
+	}
+	return nil, fmt.Errorf("core: empty property")
+}
+
+// NegationAutomaton returns a Büchi automaton for Σ^ω \ P over ab.
+func (p Property) NegationAutomaton(ab *alphabet.Alphabet) (*buchi.Buchi, error) {
+	switch {
+	case p.automaton != nil:
+		c, err := p.automaton.Complement()
+		if err != nil {
+			return nil, fmt.Errorf("core: complementing property automaton: %w", err)
+		}
+		return c, nil
+	case p.formula != nil:
+		return ltl.TranslateNegation(p.formula, p.labelingFor(ab)), nil
+	}
+	return nil, fmt.Errorf("core: empty property")
+}

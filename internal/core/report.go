@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"relive/internal/ts"
+)
+
+// Report bundles the three verdicts of Section 4 for one system and
+// property, with witnesses rendered as action names. It marshals to
+// JSON for tooling (rlcheck -json).
+type Report struct {
+	Property string `json:"property"`
+	States   int    `json:"states"`
+
+	Satisfied        bool     `json:"satisfied"`
+	Counterexample   []string `json:"counterexample,omitempty"`
+	CounterexampleLp []string `json:"counterexampleLoop,omitempty"`
+
+	RelativeLiveness bool     `json:"relativeLiveness"`
+	BadPrefix        []string `json:"badPrefix,omitempty"`
+
+	RelativeSafety bool     `json:"relativeSafety"`
+	Violation      []string `json:"violation,omitempty"`
+	ViolationLoop  []string `json:"violationLoop,omitempty"`
+}
+
+// CheckAll runs satisfaction, relative liveness and relative safety and
+// cross-checks Theorem 4.7 (satisfied ⟺ RL ∧ RS) as an internal
+// consistency assertion.
+func CheckAll(sys *ts.System, p Property) (*Report, error) {
+	sat, err := Satisfies(sys, p)
+	if err != nil {
+		return nil, err
+	}
+	rl, err := RelativeLiveness(sys, p)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := RelativeSafety(sys, p)
+	if err != nil {
+		return nil, err
+	}
+	if sat.Holds != (rl.Holds && rs.Holds) {
+		return nil, fmt.Errorf(
+			"core: internal inconsistency (Theorem 4.7): satisfied=%v, RL=%v, RS=%v",
+			sat.Holds, rl.Holds, rs.Holds)
+	}
+	ab := sys.Alphabet()
+	r := &Report{
+		Property:         p.String(),
+		States:           sys.NumStates(),
+		Satisfied:        sat.Holds,
+		RelativeLiveness: rl.Holds,
+		RelativeSafety:   rs.Holds,
+	}
+	if !sat.Holds {
+		for _, s := range sat.Counterexample.Prefix {
+			r.Counterexample = append(r.Counterexample, ab.Name(s))
+		}
+		for _, s := range sat.Counterexample.Loop {
+			r.CounterexampleLp = append(r.CounterexampleLp, ab.Name(s))
+		}
+	}
+	if !rl.Holds {
+		for _, s := range rl.BadPrefix {
+			r.BadPrefix = append(r.BadPrefix, ab.Name(s))
+		}
+	}
+	if !rs.Holds {
+		for _, s := range rs.Violation.Prefix {
+			r.Violation = append(r.Violation, ab.Name(s))
+		}
+		for _, s := range rs.Violation.Loop {
+			r.ViolationLoop = append(r.ViolationLoop, ab.Name(s))
+		}
+	}
+	return r, nil
+}

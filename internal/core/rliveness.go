@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"relive/internal/buchi"
+	"relive/internal/nfa"
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+// LivenessResult is the outcome of a relative-liveness check. When the
+// property is not a relative liveness property, BadPrefix is a shortest
+// finite behavior prefix w ∈ pre(L_ω) that no continuation within the
+// system can extend to an ω-word satisfying the property.
+type LivenessResult struct {
+	Holds     bool
+	BadPrefix word.Word
+}
+
+// RelativeLiveness decides whether p is a relative liveness property of
+// the system's behaviors lim(L) (Definition 4.1), via the
+// characterization of Lemma 4.3:
+//
+//	pre(L_ω) = pre(L_ω ∩ P).
+//
+// pre(L_ω) is the finite-path language of the trimmed system;
+// pre(L_ω ∩ P) is the finite-path language of the reduced Büchi product
+// of the behaviors with the property automaton. The inclusion
+// pre(L_ω ∩ P) ⊆ pre(L_ω) always holds, so only the converse is
+// checked, and a failure yields the BadPrefix witness.
+func RelativeLiveness(sys *ts.System, p Property) (LivenessResult, error) {
+	trimmed, err := sys.Trim()
+	if err != nil {
+		// No infinite behavior at all: pre(L_ω) = ∅ and the condition of
+		// Definition 4.1 is vacuously true.
+		return LivenessResult{Holds: true}, nil
+	}
+	behaviors, err := trimmed.Behaviors()
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
+	}
+	pa, err := p.Automaton(sys.Alphabet())
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
+	}
+	preL, err := trimmed.NFA()
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
+	}
+	preLP := buchi.Intersect(behaviors, pa).PrefixNFA()
+	ok, w := nfa.Included(preL, preLP)
+	if ok {
+		return LivenessResult{Holds: true}, nil
+	}
+	return LivenessResult{Holds: false, BadPrefix: w}, nil
+}
+
+// RelativeLivenessDirect decides relative liveness straight from
+// Definition 4.1, as an independent second algorithm used to
+// cross-validate the Lemma 4.3 route: it enumerates the finitely many
+// reachable configurations (set of system states, set of property
+// states) that a prefix w can induce and checks, for each, that some
+// continuation is accepted by both.
+func RelativeLivenessDirect(sys *ts.System, p Property) (LivenessResult, error) {
+	trimmed, err := sys.Trim()
+	if err != nil {
+		return LivenessResult{Holds: true}, nil
+	}
+	behaviors, err := trimmed.Behaviors()
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness (direct): %w", err)
+	}
+	pa, err := p.Automaton(sys.Alphabet())
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness (direct): %w", err)
+	}
+
+	type cfg struct {
+		sysSet  string // canonical key of the behavior-state set
+		propSet string
+	}
+	type entry struct {
+		sys    []buchi.State
+		prop   []buchi.State
+		parent int
+		sym    word.Word // single-letter step (nil for root)
+	}
+	keyOf := func(set []buchi.State) string {
+		b := make([]byte, 0, len(set)*2)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8))
+		}
+		return string(b)
+	}
+	sortSet := func(set map[buchi.State]bool) []buchi.State {
+		out := make([]buchi.State, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	start := entry{sys: behaviors.Initial(), prop: pa.Initial(), parent: -1}
+	sort.Slice(start.sys, func(i, j int) bool { return start.sys[i] < start.sys[j] })
+	sort.Slice(start.prop, func(i, j int) bool { return start.prop[i] < start.prop[j] })
+	queue := []entry{start}
+	seen := map[cfg]bool{{keyOf(start.sys), keyOf(start.prop)}: true}
+
+	wordTo := func(i int) word.Word {
+		var w word.Word
+		for j := i; queue[j].parent != -1; j = queue[j].parent {
+			w = append(w, queue[j].sym...)
+		}
+		for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+			w[l], w[r] = w[r], w[l]
+		}
+		return w
+	}
+
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		// Check Definition 4.1 at this configuration: some continuation x
+		// with wx a behavior satisfying P, i.e. the product of the
+		// behavior automaton started at cur.sys with the property
+		// automaton started at cur.prop is nonempty.
+		contBeh := restart(behaviors, cur.sys)
+		contProp := restart(pa, cur.prop)
+		if buchi.Intersect(contBeh, contProp).IsEmpty() {
+			return LivenessResult{Holds: false, BadPrefix: wordTo(i)}, nil
+		}
+		for _, sym := range sys.Alphabet().Symbols() {
+			nextSys := map[buchi.State]bool{}
+			for _, s := range cur.sys {
+				for _, t := range behaviors.Succ(s, sym) {
+					nextSys[t] = true
+				}
+			}
+			if len(nextSys) == 0 {
+				continue // w·sym is not a behavior prefix
+			}
+			nextProp := map[buchi.State]bool{}
+			for _, s := range cur.prop {
+				for _, t := range pa.Succ(s, sym) {
+					nextProp[t] = true
+				}
+			}
+			e := entry{sys: sortSet(nextSys), prop: sortSet(nextProp), parent: i, sym: word.Word{sym}}
+			k := cfg{keyOf(e.sys), keyOf(e.prop)}
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, e)
+			}
+		}
+	}
+	return LivenessResult{Holds: true}, nil
+}
+
+// restart clones b with the initial states replaced by the given set.
+func restart(b *buchi.Buchi, initial []buchi.State) *buchi.Buchi {
+	c := buchi.New(b.Alphabet())
+	for i := 0; i < b.NumStates(); i++ {
+		c.AddState(b.Accepting(buchi.State(i)))
+	}
+	for i := 0; i < b.NumStates(); i++ {
+		for _, sym := range b.Alphabet().Symbols() {
+			for _, t := range b.Succ(buchi.State(i), sym) {
+				c.AddTransition(buchi.State(i), sym, t)
+			}
+		}
+	}
+	for _, s := range initial {
+		c.SetInitial(s)
+	}
+	return c
+}

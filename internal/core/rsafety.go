@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"relive/internal/buchi"
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+// SafetyResult is the outcome of a relative-safety check. When the
+// property is not a relative safety property, Violation is an ultimately
+// periodic behavior that does not satisfy the property although every
+// one of its prefixes can be extended to a behavior that does (it lies
+// in the limit of pre(L_ω ∩ P)).
+type SafetyResult struct {
+	Holds     bool
+	Violation word.Lasso
+}
+
+// RelativeSafety decides whether p is a relative safety property of the
+// system's behaviors (Definition 4.2), via the characterization of
+// Lemma 4.4:
+//
+//	L_ω ∩ lim(pre(L_ω ∩ P)) ⊆ P.
+//
+// The left-hand side is the Büchi product of the behaviors with the
+// limit of the prefix language of L_ω ∩ P; inclusion in P is checked by
+// intersecting with ¬P (for formulas, the translated negation; for
+// automata, the rank-based complement).
+func RelativeSafety(sys *ts.System, p Property) (SafetyResult, error) {
+	trimmed, err := sys.Trim()
+	if err != nil {
+		// No infinite behavior: every x ∈ L_ω = ∅ vacuously satisfies
+		// Definition 4.2.
+		return SafetyResult{Holds: true}, nil
+	}
+	behaviors, err := trimmed.Behaviors()
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
+	pa, err := p.Automaton(sys.Alphabet())
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
+	preLP := buchi.Intersect(behaviors, pa).PrefixNFA().Trim()
+	if preLP.NumStates() == 0 {
+		// L_ω ∩ P = ∅: its prefix limit is empty and inclusion is trivial.
+		return SafetyResult{Holds: true}, nil
+	}
+	limPre, err := buchi.LimitOfAllAccepting(preLP)
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
+	lhs := buchi.Intersect(behaviors, limPre)
+	notP, err := p.NegationAutomaton(sys.Alphabet())
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
+	l, found := buchi.Intersect(lhs, notP).AcceptingLasso()
+	if found {
+		return SafetyResult{Holds: false, Violation: l}, nil
+	}
+	return SafetyResult{Holds: true}, nil
+}
+
+// SatisfactionResult is the outcome of a plain satisfaction check
+// L_ω ⊆ P; Counterexample is a behavior outside P when it fails.
+type SatisfactionResult struct {
+	Holds          bool
+	Counterexample word.Lasso
+}
+
+// Satisfies decides L_ω ⊆ P (Definition 3.2) directly, by emptiness of
+// behaviors ∩ ¬P. Theorem 4.7 states this is equivalent to p being both
+// a relative liveness and a relative safety property; the equivalence is
+// exercised by the test suite.
+func Satisfies(sys *ts.System, p Property) (SatisfactionResult, error) {
+	trimmed, err := sys.Trim()
+	if err != nil {
+		return SatisfactionResult{Holds: true}, nil
+	}
+	behaviors, err := trimmed.Behaviors()
+	if err != nil {
+		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
+	}
+	notP, err := p.NegationAutomaton(sys.Alphabet())
+	if err != nil {
+		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
+	}
+	l, found := buchi.Intersect(behaviors, notP).AcceptingLasso()
+	if found {
+		return SatisfactionResult{Holds: false, Counterexample: l}, nil
+	}
+	return SatisfactionResult{Holds: true}, nil
+}
+
+// SatisfiesViaConjunction decides satisfaction through Theorem 4.7: the
+// property holds iff it is both a relative liveness and a relative
+// safety property. Exposed as an alternative algorithm for
+// cross-validation and ablation benchmarks.
+func SatisfiesViaConjunction(sys *ts.System, p Property) (bool, error) {
+	rl, err := RelativeLiveness(sys, p)
+	if err != nil {
+		return false, err
+	}
+	if !rl.Holds {
+		return false, nil
+	}
+	rs, err := RelativeSafety(sys, p)
+	if err != nil {
+		return false, err
+	}
+	return rs.Holds, nil
+}

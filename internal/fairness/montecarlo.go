@@ -1,0 +1,287 @@
+package fairness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+// This file implements the probabilistic reading of relative liveness
+// sketched in the paper's conclusion (Section 9): relative liveness
+// properties "informally say: almost all computations satisfy the
+// property", connecting them to probabilistic verification [26, 27].
+// For a finite-state system under the uniform random scheduler (each
+// enabled transition equally likely), a run almost surely enters a
+// bottom SCC and visits all of its states and transitions infinitely
+// often — it is almost surely strongly fair. Consequently an ω-regular
+// property holds with probability 1 iff it holds on all strongly fair
+// runs, which relative liveness properties do on the Theorem 5.1
+// implementation. RandomWalk samples this: it produces runs of the
+// uniform scheduler, and the experiment harness measures the frequency
+// with which a property's finite indicator (e.g. "result occurred in
+// the last window") stays true.
+
+// RandomWalker produces uniformly random executions of a system.
+type RandomWalker struct {
+	sys     *ts.System
+	rng     *rand.Rand
+	edges   []ts.Edge
+	byState map[ts.State][]int
+	current ts.State
+}
+
+// NewRandomWalker returns a walker at the initial state using the given
+// seed (deterministic for reproducible experiments).
+func NewRandomWalker(sys *ts.System, seed int64) (*RandomWalker, error) {
+	if sys.Initial() < 0 {
+		return nil, fmt.Errorf("fairness: system has no initial state")
+	}
+	w := &RandomWalker{
+		sys:     sys,
+		rng:     rand.New(rand.NewSource(seed)),
+		edges:   sys.Edges(),
+		byState: map[ts.State][]int{},
+		current: sys.Initial(),
+	}
+	for ei, e := range w.edges {
+		w.byState[e.From] = append(w.byState[e.From], ei)
+	}
+	return w, nil
+}
+
+// Current returns the walker's current state.
+func (w *RandomWalker) Current() ts.State { return w.current }
+
+// Step takes a uniformly random enabled transition; ok is false at a
+// dead end.
+func (w *RandomWalker) Step() (ts.Edge, bool) {
+	candidates := w.byState[w.current]
+	if len(candidates) == 0 {
+		return ts.Edge{}, false
+	}
+	e := w.edges[candidates[w.rng.Intn(len(candidates))]]
+	w.current = e.To
+	return e, true
+}
+
+// Walk returns the action word of an n-step random execution (shorter
+// at a dead end).
+func (w *RandomWalker) Walk(n int) word.Word {
+	out := make(word.Word, 0, n)
+	for i := 0; i < n; i++ {
+		e, ok := w.Step()
+		if !ok {
+			break
+		}
+		out = append(out, e.Sym)
+	}
+	return out
+}
+
+// EstimateEventualLasso samples the almost-sure shape of an infinite
+// uniform random run: walk a finite number of steps, check that the
+// states visited in the second half form a closed strongly connected
+// set — a bottom SCC, where an infinite random run ends up almost
+// surely and then, almost surely, takes every transition infinitely
+// often — and return the word "sampled prefix · fair covering cycle^ω".
+// The sample is discarded (ok=false) when the walk has not yet settled
+// or hits a dead end; longer walks settle with probability approaching
+// one.
+func (w *RandomWalker) EstimateEventualLasso(steps int) (word.Lasso, bool) {
+	trace := make([]ts.Edge, 0, steps)
+	for i := 0; i < steps; i++ {
+		e, ok := w.Step()
+		if !ok {
+			return word.Lasso{}, false
+		}
+		trace = append(trace, e)
+	}
+	half := len(trace) / 2
+	if half == 0 {
+		return word.Lasso{}, false
+	}
+	inSet := map[ts.State]bool{}
+	for _, e := range trace[half:] {
+		inSet[e.From] = true
+		inSet[e.To] = true
+	}
+	// The set must be closed under all enabled transitions (then, being
+	// the visited tail of a single walk, it is strongly connected and so
+	// a bottom SCC).
+	for _, e := range w.edges {
+		if inSet[e.From] && !inSet[e.To] {
+			return word.Lasso{}, false
+		}
+	}
+	prefix := make(word.Word, 0, half)
+	for _, e := range trace[:half] {
+		prefix = append(prefix, e.Sym)
+	}
+	loop, ok := w.coveringCycle(trace[half].From, inSet)
+	if !ok {
+		return word.Lasso{}, false
+	}
+	return word.MustLasso(prefix, loop), true
+}
+
+// coveringCycle returns the action word of a cycle from start through
+// every edge inside the closed set — the canonical fair sweep a random
+// run performs infinitely often almost surely.
+func (w *RandomWalker) coveringCycle(start ts.State, inSet map[ts.State]bool) (word.Word, bool) {
+	var pending []int
+	for ei, e := range w.edges {
+		if inSet[e.From] {
+			pending = append(pending, ei)
+		}
+	}
+	if len(pending) == 0 {
+		return nil, false
+	}
+	remaining := map[int]bool{}
+	for _, ei := range pending {
+		remaining[ei] = true
+	}
+	var out word.Word
+	cur := start
+	for len(remaining) > 0 {
+		// Take the shortest path (by BFS over edges within the set) to
+		// any remaining edge, then traverse it.
+		path, ok := w.pathToEdge(cur, inSet, remaining)
+		if !ok {
+			return nil, false // cannot happen in a closed SC set
+		}
+		for _, ei := range path {
+			out = append(out, w.edges[ei].Sym)
+			delete(remaining, ei)
+			cur = w.edges[ei].To
+		}
+	}
+	back, ok := w.pathToState(cur, inSet, start)
+	if !ok {
+		return nil, false
+	}
+	for _, ei := range back {
+		out = append(out, w.edges[ei].Sym)
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// pathToEdge returns edge indices of a shortest walk from cur that ends
+// by traversing some edge in want, staying inside the set.
+func (w *RandomWalker) pathToEdge(cur ts.State, inSet map[ts.State]bool, want map[int]bool) ([]int, bool) {
+	type entry struct {
+		state  ts.State
+		parent int
+		edge   int
+	}
+	queue := []entry{{state: cur, parent: -1, edge: -1}}
+	seen := map[ts.State]bool{cur: true}
+	for i := 0; i < len(queue); i++ {
+		st := queue[i].state
+		for _, ei := range w.byState[st] {
+			e := w.edges[ei]
+			if !inSet[e.To] {
+				continue
+			}
+			if want[ei] {
+				var path []int
+				path = append(path, ei)
+				for j := i; queue[j].parent != -1; j = queue[j].parent {
+					path = append(path, queue[j].edge)
+				}
+				for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+					path[l], path[r] = path[r], path[l]
+				}
+				return path, true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, entry{state: e.To, parent: i, edge: ei})
+			}
+		}
+	}
+	return nil, false
+}
+
+// pathToState returns edge indices of a shortest walk from cur to goal
+// inside the set (empty when cur == goal).
+func (w *RandomWalker) pathToState(cur ts.State, inSet map[ts.State]bool, goal ts.State) ([]int, bool) {
+	if cur == goal {
+		return nil, true
+	}
+	type entry struct {
+		state  ts.State
+		parent int
+		edge   int
+	}
+	queue := []entry{{state: cur, parent: -1, edge: -1}}
+	seen := map[ts.State]bool{cur: true}
+	for i := 0; i < len(queue); i++ {
+		st := queue[i].state
+		for _, ei := range w.byState[st] {
+			e := w.edges[ei]
+			if !inSet[e.To] || seen[e.To] {
+				continue
+			}
+			if e.To == goal {
+				var path []int
+				path = append(path, ei)
+				for j := i; queue[j].parent != -1; j = queue[j].parent {
+					path = append(path, queue[j].edge)
+				}
+				for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+					path[l], path[r] = path[r], path[l]
+				}
+				return path, true
+			}
+			seen[e.To] = true
+			queue = append(queue, entry{state: e.To, parent: i, edge: ei})
+		}
+	}
+	return nil, false
+}
+
+// SatisfactionFrequency estimates, over runs sampled walks of length
+// steps each, the fraction whose induced lasso satisfies the given
+// predicate. It is the Monte Carlo estimator behind the E13 experiment:
+// for relative liveness properties of systems whose uniform random walk
+// is almost surely fair, the frequency tends to 1.
+func SatisfactionFrequency(
+	sys *ts.System,
+	seed int64,
+	runs, steps int,
+	satisfies func(word.Lasso) (bool, error),
+) (float64, error) {
+	if runs <= 0 {
+		return 0, fmt.Errorf("fairness: runs must be positive")
+	}
+	hits := 0
+	counted := 0
+	for r := 0; r < runs; r++ {
+		w, err := NewRandomWalker(sys, seed+int64(r))
+		if err != nil {
+			return 0, err
+		}
+		l, ok := w.EstimateEventualLasso(steps)
+		if !ok {
+			continue // dead end or no recurrence within budget
+		}
+		counted++
+		sat, err := satisfies(l)
+		if err != nil {
+			return 0, err
+		}
+		if sat {
+			hits++
+		}
+	}
+	if counted == 0 {
+		return 0, fmt.Errorf("fairness: no run closed a lasso within %d steps", steps)
+	}
+	return float64(hits) / float64(counted), nil
+}

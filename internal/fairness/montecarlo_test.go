@@ -1,0 +1,147 @@
+package fairness
+
+import (
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/ltl"
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+func TestRandomWalkerBasics(t *testing.T) {
+	sys := abLoop()
+	w, err := NewRandomWalker(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := w.Walk(100)
+	if len(trace) != 100 {
+		t.Fatalf("walk length %d", len(trace))
+	}
+	counts := map[string]int{}
+	for _, sym := range trace {
+		counts[sys.Alphabet().Name(sym)]++
+	}
+	// Uniform over {a,b}: both should appear plenty.
+	if counts["a"] < 20 || counts["b"] < 20 {
+		t.Errorf("walk badly skewed: %v", counts)
+	}
+	if _, err := NewRandomWalker(ts.New(alphabet.FromNames("a")), 1); err == nil {
+		t.Error("walker accepted a system without initial state")
+	}
+}
+
+func TestRandomWalkerDeadEnd(t *testing.T) {
+	ab := alphabet.FromNames("a")
+	sys := ts.New(ab)
+	sys.AddEdge("x", "a", "dead")
+	init, _ := sys.LookupState("x")
+	sys.SetInitial(init)
+	w, err := NewRandomWalker(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Walk(10)); got != 1 {
+		t.Errorf("walk into dead end has length %d, want 1", got)
+	}
+	if _, ok := w.EstimateEventualLasso(10); ok {
+		t.Error("lasso estimated despite dead end")
+	}
+}
+
+func TestEstimateEventualLassoIsABehavior(t *testing.T) {
+	sys := abLoop()
+	beh, err := sys.Behaviors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		w, err := NewRandomWalker(sys, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, ok := w.EstimateEventualLasso(60)
+		if !ok {
+			t.Fatalf("seed %d: no lasso", seed)
+		}
+		if !beh.AcceptsLasso(l) {
+			t.Fatalf("seed %d: estimated lasso %s is not a behavior", seed, l.String(sys.Alphabet()))
+		}
+		// The covering cycle must be fair: both a and b occur in the loop.
+		seen := map[alphabet.Symbol]bool{}
+		for _, sym := range l.Loop {
+			seen[sym] = true
+		}
+		if len(seen) != 2 {
+			t.Fatalf("seed %d: loop %s does not cover both actions", seed, l.Loop.String(sys.Alphabet()))
+		}
+	}
+}
+
+func TestEstimateDiscardsUnsettledWalks(t *testing.T) {
+	// One-way chain into a terminal loop: with a long enough walk the
+	// second half lies in the terminal loop; with a 2-step walk the
+	// second half still touches the transient chain, which is not
+	// closed, so the sample is discarded.
+	ab := alphabet.FromNames("go", "spin")
+	sys := ts.New(ab)
+	sys.AddEdge("s0", "go", "s1")
+	sys.AddEdge("s1", "go", "s2")
+	sys.AddEdge("s2", "spin", "s2")
+	init, _ := sys.LookupState("s0")
+	sys.SetInitial(init)
+
+	w, err := NewRandomWalker(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.EstimateEventualLasso(2); ok {
+		t.Error("unsettled walk produced a lasso")
+	}
+	w2, err := NewRandomWalker(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := w2.EstimateEventualLasso(30)
+	if !ok {
+		t.Fatal("settled walk produced no lasso")
+	}
+	want := word.MustLasso(
+		word.FromNames(ab, "go", "go", "spin", "spin", "spin", "spin", "spin",
+			"spin", "spin", "spin", "spin", "spin", "spin", "spin", "spin"),
+		word.FromNames(ab, "spin"),
+	)
+	if !l.Normalize().Equal(want.Normalize()) {
+		t.Errorf("lasso %s, want eventually spin^ω", l.String(ab))
+	}
+}
+
+func TestSatisfactionFrequencyBounds(t *testing.T) {
+	sys := abLoop()
+	lab := ltl.Canonical(sys.Alphabet())
+	gfa := ltl.MustParse("G F a")
+	freq, err := SatisfactionFrequency(sys, 7, 50, 60, func(l word.Lasso) (bool, error) {
+		return ltl.EvalLasso(gfa, l, lab)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fair covering cycle always contains a: probability 1.
+	if freq != 1.0 {
+		t.Errorf("P(GFa) on {a,b}^ω = %v, want 1.0", freq)
+	}
+	fga := ltl.MustParse("F G a")
+	freq, err = SatisfactionFrequency(sys, 7, 50, 60, func(l word.Lasso) (bool, error) {
+		return ltl.EvalLasso(fga, l, lab)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq != 0.0 {
+		t.Errorf("P(FGa) on {a,b}^ω = %v, want 0.0", freq)
+	}
+	if _, err := SatisfactionFrequency(sys, 7, 0, 60, nil); err == nil {
+		t.Error("zero runs accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package fairness implements fairness notions for finite-state
+// transition systems: strong and weak transition fairness of ultimately
+// periodic runs, a Streett-style checker for the existence of strongly
+// fair runs satisfying an ω-regular property (the machinery behind
+// Theorem 5.1's claim that all strongly fair computations of the
+// synthesized implementation satisfy the relative liveness property),
+// and a deterministic fair scheduler for simulation.
+package fairness
+
+import (
+	"fmt"
+
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+// Run is an ultimately periodic run of a transition system: a finite
+// prefix of edges followed by an infinitely repeated nonempty loop of
+// edges.
+type Run struct {
+	Prefix []ts.Edge
+	Loop   []ts.Edge
+}
+
+// Validate checks that the run is a connected path of sys starting at
+// the initial state and that the loop closes.
+func (r Run) Validate(sys *ts.System) error {
+	if len(r.Loop) == 0 {
+		return fmt.Errorf("fairness: run has an empty loop")
+	}
+	cur := sys.Initial()
+	if cur < 0 {
+		return fmt.Errorf("fairness: system has no initial state")
+	}
+	check := func(e ts.Edge) error {
+		if e.From != cur {
+			return fmt.Errorf("fairness: edge %v does not start at current state %v", e, cur)
+		}
+		found := false
+		for _, t := range sys.Succ(e.From, e.Sym) {
+			if t == e.To {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("fairness: edge %v is not a transition of the system", e)
+		}
+		cur = e.To
+		return nil
+	}
+	for _, e := range r.Prefix {
+		if err := check(e); err != nil {
+			return err
+		}
+	}
+	loopStart := cur
+	for _, e := range r.Loop {
+		if err := check(e); err != nil {
+			return err
+		}
+	}
+	if cur != loopStart {
+		return fmt.Errorf("fairness: loop does not return to its entry state")
+	}
+	return nil
+}
+
+// Word returns the ω-word of actions along the run.
+func (r Run) Word() word.Lasso {
+	prefix := make(word.Word, len(r.Prefix))
+	for i, e := range r.Prefix {
+		prefix[i] = e.Sym
+	}
+	loop := make(word.Word, len(r.Loop))
+	for i, e := range r.Loop {
+		loop[i] = e.Sym
+	}
+	return word.MustLasso(prefix, loop)
+}
+
+// IsStronglyFair reports whether the run is strongly transition-fair: a
+// transition enabled infinitely often (its source state is visited by
+// the loop) must be taken infinitely often (it occurs in the loop).
+func (r Run) IsStronglyFair(sys *ts.System) bool {
+	loopStates := map[ts.State]bool{}
+	for _, e := range r.Loop {
+		loopStates[e.From] = true
+	}
+	taken := map[ts.Edge]bool{}
+	for _, e := range r.Loop {
+		taken[e] = true
+	}
+	for _, e := range sys.Edges() {
+		if loopStates[e.From] && !taken[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsWeaklyFair reports whether the run is weakly transition-fair: a
+// transition continuously enabled from some point on (which, with
+// state-based enabledness, requires the loop to sit at its source state
+// only) must be taken infinitely often.
+func (r Run) IsWeaklyFair(sys *ts.System) bool {
+	loopStates := map[ts.State]bool{}
+	for _, e := range r.Loop {
+		loopStates[e.From] = true
+	}
+	if len(loopStates) > 1 {
+		return true // no transition is continuously enabled
+	}
+	var only ts.State
+	for s := range loopStates {
+		only = s
+	}
+	taken := map[ts.Edge]bool{}
+	for _, e := range r.Loop {
+		taken[e] = true
+	}
+	for _, e := range sys.Edges() {
+		if e.From == only && !taken[e] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,271 @@
+package fairness
+
+import (
+	"fmt"
+
+	"relive/internal/buchi"
+	"relive/internal/graph"
+	"relive/internal/ts"
+)
+
+// Kind selects a fairness notion.
+type Kind int
+
+// Fairness notions for ExistsFairRun.
+const (
+	Strong Kind = iota + 1
+	Weak
+)
+
+// ExistsFairRun reports whether the system has a fair (per kind) run
+// whose action word is accepted by prop. It returns a witness run when
+// one exists.
+//
+// The search works on the product of the system's edge graph with prop:
+// a vertex means "the system just took edge e and prop is in state b".
+// Strong transition fairness is a Streett condition — one pair per
+// system edge t, with E_t = vertices at t's source state and F_t =
+// vertices that just took t — plus the Büchi pair (all vertices, prop
+// accepting). Emptiness uses the classic SCC-restriction algorithm: an
+// SCC violating a pair is shrunk by removing that pair's E-vertices and
+// re-decomposed. A fair lasso is then stitched through one witness SCC.
+func ExistsFairRun(sys *ts.System, prop *buchi.Buchi, kind Kind) (Run, bool, error) {
+	if sys.Initial() < 0 {
+		return Run{}, false, fmt.Errorf("fairness: system has no initial state")
+	}
+	if kind != Strong && kind != Weak {
+		return Run{}, false, fmt.Errorf("fairness: unknown fairness kind %d", int(kind))
+	}
+	g, err := buildProduct(sys, prop)
+	if err != nil || len(g.verts) == 0 {
+		return Run{}, false, err
+	}
+	n := len(g.verts)
+	reach := graph.Reachable(n, g.initVerts, g.succ)
+	comp, ok := findFairSCCWithin(n, g.succ, reach, func(comp []int) (bool, []int) {
+		return g.analyzeSCC(comp, kind)
+	})
+	if !ok {
+		return Run{}, false, nil
+	}
+	return g.stitchRun(comp), true, nil
+}
+
+// product is the exploration graph of (system edge, property state)
+// vertices.
+type product struct {
+	sys       *ts.System
+	prop      *buchi.Buchi
+	edges     []ts.Edge
+	verts     []prodVertex
+	adj       [][]int
+	initVerts []int
+}
+
+type prodVertex struct {
+	e int // index into edges: the system edge just taken
+	b buchi.State
+}
+
+func buildProduct(sys *ts.System, prop *buchi.Buchi) (*product, error) {
+	g := &product{sys: sys, prop: prop, edges: sys.Edges()}
+	if len(g.edges) == 0 {
+		return g, nil
+	}
+	index := map[prodVertex]int{}
+	intern := func(k prodVertex) int {
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(g.verts)
+		g.verts = append(g.verts, k)
+		g.adj = append(g.adj, nil)
+		index[k] = i
+		return i
+	}
+	succsByState := map[ts.State][]int{}
+	for ei, e := range g.edges {
+		succsByState[e.From] = append(succsByState[e.From], ei)
+	}
+	var queue []int
+	seen := map[prodVertex]bool{}
+	push := func(k prodVertex) int {
+		i := intern(k)
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, i)
+		}
+		return i
+	}
+	for _, ei := range succsByState[sys.Initial()] {
+		for _, b0 := range prop.Initial() {
+			for _, b1 := range prop.Succ(b0, g.edges[ei].Sym) {
+				g.initVerts = append(g.initVerts, push(prodVertex{ei, b1}))
+			}
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		vi := queue[qi]
+		k := g.verts[vi]
+		for _, ei := range succsByState[g.edges[k.e].To] {
+			for _, b1 := range prop.Succ(k.b, g.edges[ei].Sym) {
+				g.adj[vi] = append(g.adj[vi], push(prodVertex{ei, b1}))
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *product) succ(v int) []int { return g.adj[v] }
+
+// analyzeSCC decides whether the component supports a fair accepted
+// run. For a repairable strong-fairness violation it returns the
+// E-vertices to remove before re-decomposing; otherwise nil.
+func (g *product) analyzeSCC(comp []int, kind Kind) (bool, []int) {
+	hasAccepting := false
+	statesVisited := map[ts.State]bool{}
+	edgesTaken := map[int]bool{}
+	for _, v := range comp {
+		k := g.verts[v]
+		if g.prop.Accepting(k.b) {
+			hasAccepting = true
+		}
+		statesVisited[g.edges[k.e].To] = true
+		edgesTaken[k.e] = true
+	}
+	if !hasAccepting {
+		return false, nil // removing vertices cannot create acceptance
+	}
+	switch kind {
+	case Strong:
+		var removeE []int
+		for ti, t := range g.edges {
+			if statesVisited[t.From] && !edgesTaken[ti] {
+				// Streett pair for t violated: E_t ∩ C ≠ ∅, F_t ∩ C = ∅.
+				for _, v := range comp {
+					if g.edges[g.verts[v].e].To == t.From {
+						removeE = append(removeE, v)
+					}
+				}
+			}
+		}
+		if len(removeE) == 0 {
+			return true, nil
+		}
+		return false, removeE
+	case Weak:
+		if len(statesVisited) > 1 {
+			return true, nil // nothing is continuously enabled
+		}
+		var only ts.State
+		for s := range statesVisited {
+			only = s
+		}
+		for ti, t := range g.edges {
+			if t.From == only && !edgesTaken[ti] {
+				return false, nil // continuously enabled yet never taken
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// findFairSCCWithin searches the subgraph induced by within for an SCC
+// accepted by analyze, recursing on shrunken components as directed.
+func findFairSCCWithin(n int, succ graph.Succ, within []bool, analyze func([]int) (bool, []int)) ([]int, bool) {
+	restricted := func(v int) []int {
+		if !within[v] {
+			return nil
+		}
+		var out []int
+		for _, w := range succ(v) {
+			if within[w] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	comps := graph.SCCs(n, restricted)
+	for _, comp := range comps {
+		if !within[comp[0]] {
+			continue
+		}
+		if graph.IsTrivialSCC(comp, restricted) {
+			continue
+		}
+		ok, removeE := analyze(comp)
+		if ok {
+			return comp, true
+		}
+		if len(removeE) == 0 {
+			continue
+		}
+		sub := make([]bool, n)
+		for _, v := range comp {
+			sub[v] = true
+		}
+		for _, v := range removeE {
+			sub[v] = false
+		}
+		if res, found := findFairSCCWithin(n, succ, sub, analyze); found {
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// stitchRun builds a fair lasso: a prefix from an initial vertex to the
+// component, then a loop visiting every component vertex (covering all
+// edge obligations and an accepting vertex) and closing.
+func (g *product) stitchRun(comp []int) Run {
+	inComp := map[int]bool{}
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	n := len(g.verts)
+	succC := func(v int) []int {
+		var out []int
+		for _, w := range g.adj[v] {
+			if inComp[w] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	entry := comp[0]
+	prefixPath := graph.ShortestPath(n, g.initVerts, g.succ, func(v int) bool { return v == entry })
+	var loop []int
+	cur := entry
+	remaining := map[int]bool{}
+	for _, v := range comp {
+		if v != entry {
+			remaining[v] = true
+		}
+	}
+	for len(remaining) > 0 {
+		p := graph.ShortestPath(n, []int{cur}, succC, func(v int) bool { return remaining[v] })
+		if len(p) < 2 {
+			break // unreachable inside an SCC: cannot happen
+		}
+		for _, v := range p[1:] {
+			loop = append(loop, v)
+			delete(remaining, v)
+		}
+		cur = p[len(p)-1]
+	}
+	back := graph.ShortestPath(n, []int{cur}, succC, func(v int) bool { return v == entry })
+	if len(back) > 1 {
+		loop = append(loop, back[1:]...)
+	} else if len(loop) == 0 {
+		loop = append(loop, entry) // single vertex with a self-loop
+	}
+	toEdges := func(vs []int) []ts.Edge {
+		out := make([]ts.Edge, len(vs))
+		for i, v := range vs {
+			out[i] = g.edges[g.verts[v].e]
+		}
+		return out
+	}
+	return Run{Prefix: toEdges(prefixPath), Loop: toEdges(loop)}
+}

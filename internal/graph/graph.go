@@ -1,0 +1,254 @@
+// Package graph provides the directed-graph algorithms shared by the
+// automata and fairness packages: Tarjan's strongly-connected-components
+// decomposition (iterative, so deep systems do not overflow the stack),
+// reachability, bottom-SCC analysis, and shortest-path extraction.
+package graph
+
+// Succ enumerates the successor vertices of v. Implementations may yield
+// duplicates; the algorithms tolerate them.
+type Succ func(v int) []int
+
+// SCCs returns the strongly connected components of the graph with
+// vertices 0..n-1 in reverse topological order (every edge leaving a
+// component points to a component earlier in the returned slice).
+// Components are Tarjan components: singletons without self-loops are
+// "trivial" components.
+func SCCs(n int, succ Succ) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		comps   [][]int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		succ []int
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: root}}
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.succ == nil {
+				index[f.v] = counter
+				low[f.v] = counter
+				counter++
+				stack = append(stack, f.v)
+				onStack[f.v] = true
+				f.succ = succ(f.v)
+			}
+			advanced := false
+			for f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if index[w] == unvisited {
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All successors done: pop.
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// ComponentOf returns, for each vertex, the index of its component in the
+// slice returned by SCCs.
+func ComponentOf(n int, comps [][]int) []int {
+	comp := make([]int, n)
+	for ci, c := range comps {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	return comp
+}
+
+// IsTrivialSCC reports whether comp is a single vertex without a
+// self-loop, i.e. carries no cycle.
+func IsTrivialSCC(comp []int, succ Succ) bool {
+	if len(comp) > 1 {
+		return false
+	}
+	v := comp[0]
+	for _, w := range succ(v) {
+		if w == v {
+			return false
+		}
+	}
+	return true
+}
+
+// Reachable returns the set of vertices reachable from the given sources
+// (including the sources themselves).
+func Reachable(n int, sources []int, succ Succ) []bool {
+	seen := make([]bool, n)
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if s >= 0 && s < n && !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range succ(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachable returns the set of vertices from which some target vertex is
+// reachable, computed on the reversed graph.
+func CoReachable(n int, targets []bool, succ Succ) []bool {
+	// Build reverse adjacency once; succ may be expensive.
+	rev := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range succ(v) {
+			rev[w] = append(rev[w], v)
+		}
+	}
+	seen := make([]bool, n)
+	var queue []int
+	for v := 0; v < n; v++ {
+		if targets[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range rev[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// BottomSCCs returns the components (as produced by SCCs) out of which no
+// edge leaves, restricted to components reachable from sources. In a
+// finite system whose every state has a successor, the strongly fair runs
+// are exactly the runs whose infinity set is such a bottom component.
+func BottomSCCs(n int, sources []int, succ Succ) [][]int {
+	comps := SCCs(n, succ)
+	compOf := ComponentOf(n, comps)
+	reach := Reachable(n, sources, succ)
+	var bottoms [][]int
+	for ci, c := range comps {
+		if !reach[c[0]] {
+			continue
+		}
+		isBottom := true
+		for _, v := range c {
+			for _, w := range succ(v) {
+				if compOf[w] != ci {
+					isBottom = false
+					break
+				}
+			}
+			if !isBottom {
+				break
+			}
+		}
+		if isBottom {
+			bottoms = append(bottoms, c)
+		}
+	}
+	return bottoms
+}
+
+// ShortestPath returns a shortest path (as a vertex sequence, inclusive of
+// both endpoints) from any source to any vertex satisfying goal, or nil
+// when no such vertex is reachable.
+func ShortestPath(n int, sources []int, succ Succ, goal func(v int) bool) []int {
+	parent := make([]int, n)
+	seen := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var queue []int
+	for _, s := range sources {
+		if s < 0 || s >= n || seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue, s)
+		if goal(s) {
+			return []int{s}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range succ(v) {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			parent[w] = v
+			if goal(w) {
+				var path []int
+				for u := w; u != -1; u = parent[u] {
+					path = append(path, u)
+				}
+				reverse(path)
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+func reverse(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}

@@ -1,0 +1,75 @@
+package hom
+
+import (
+	"strings"
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/nfa"
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+func TestSetAndString(t *testing.T) {
+	src := alphabet.FromNames("a", "b")
+	dst := alphabet.FromNames("x")
+	h := New(src, dst)
+	sa, _ := src.Lookup("a")
+	sx, _ := dst.Lookup("x")
+	h.Set(sa, sx)
+	if h.Image(sa) != sx {
+		t.Error("Set did not stick")
+	}
+	s := h.String()
+	if !strings.Contains(s, "a=>x") || !strings.Contains(s, "b=>ε") {
+		t.Errorf("String = %q", s)
+	}
+	if h.Source() != src || h.Dest() != dst {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestImageSystem(t *testing.T) {
+	ab := alphabet.FromNames("request", "work", "result")
+	sys := ts.New(ab)
+	sys.AddEdge("idle", "request", "busy")
+	sys.AddEdge("busy", "work", "done")
+	sys.AddEdge("done", "result", "idle")
+	init, _ := sys.LookupState("idle")
+	sys.SetInitial(init)
+
+	h := Identity(ab, "request", "result")
+	img, err := h.ImageSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NumStates() != 2 {
+		t.Errorf("abstract system has %d states, want 2", img.NumStates())
+	}
+	dst := img.Alphabet()
+	if !img.AcceptsWord(word.FromNames(dst, "request", "result", "request")) {
+		t.Error("abstract system rejects request·result·request")
+	}
+	if img.AcceptsWord(word.FromNames(dst, "result")) {
+		t.Error("abstract system accepts a bare result")
+	}
+	// System without initial state errors.
+	bad := ts.New(ab)
+	bad.AddEdge("x", "request", "x")
+	if _, err := h.ImageSystem(bad); err == nil {
+		t.Error("ImageSystem accepted a system without initial state")
+	}
+}
+
+func TestIsSimpleEmptyLanguage(t *testing.T) {
+	src := alphabet.FromNames("a")
+	h := Identity(src, "a")
+	empty := nfa.New(src) // no states: empty language
+	res, err := h.IsSimple(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Simple {
+		t.Error("empty language should be vacuously simple")
+	}
+}

@@ -1,0 +1,62 @@
+package hom
+
+import (
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// HashName is the padding symbol used to keep maximal words "visible" in
+// limits, following the {#}*-extension of [20] referenced after
+// Corollary 8.4.
+const HashName = "#"
+
+// HasMaximalWords reports whether h(L(a)) contains maximal words —
+// words that are not proper prefixes of other words in h(L(a)). The
+// preservation theorems 8.2/8.3 require that it does not; when it does,
+// the witness is one such maximal word and ExtendMaximalWords restores
+// the precondition.
+func (h *Hom) HasMaximalWords(a *nfa.NFA) (bool, word.Word) {
+	return h.ImageNFA(a).HasMaximalWords()
+}
+
+// ExtendMaximalWords returns an automaton for h(L(a)) · extension, where
+// every maximal word of h(L(a)) may be extended by words from {#}*: a
+// fresh # letter self-loops at every configuration from which the word
+// read so far is maximal. Non-maximal words are unaffected, so
+// lim of the result keeps maximal words visible as w·#^ω.
+func (h *Hom) ExtendMaximalWords(a *nfa.NFA) *nfa.NFA {
+	d := h.ImageNFA(a).Determinize().Trim()
+	out := d.ToNFA()
+	if d.Initial() < 0 {
+		return out
+	}
+	n := d.NumStates()
+	// canExtend[s]: an accepting state is reachable via ≥1 step.
+	canExtend := make([]bool, n)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if canExtend[i] {
+				continue
+			}
+			for _, sym := range d.Alphabet().Symbols() {
+				t, ok := d.Delta(nfa.State(i), sym)
+				if !ok {
+					continue
+				}
+				if d.Accepting(t) || canExtend[t] {
+					canExtend[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	hash := d.Alphabet().Symbol(HashName)
+	for i := 0; i < n; i++ {
+		if d.Accepting(nfa.State(i)) && !canExtend[i] {
+			out.AddTransition(nfa.State(i), hash, nfa.State(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a PLTL formula. Accepted syntax (ASCII and the paper's
+// Unicode forms):
+//
+//	atoms:        identifiers (letters, digits, _, -), plus "ε"/"eps"
+//	constants:    true, false
+//	negation:     ! ~ ¬
+//	conjunction:  & && ∧ /\
+//	disjunction:  | || ∨ \/
+//	implication:  -> => ⇒
+//	equivalence:  <-> <=> ⇔
+//	next:         X or O prefix, ○
+//	eventually:   F <> ◇
+//	globally:     G [] □
+//	until:        U
+//	weak until:   W
+//	release:      R V
+//	before:       B
+//
+// Precedence, loosest to tightest: ⇔, ⇒ (right assoc), ∨, ∧,
+// U/R/B (right assoc), unary. "X", "O", "F", "G", "U", "R", "V", "B"
+// are reserved operator names and cannot be atoms; use longer names.
+func Parse(input string) (*Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("ltl: unexpected %q at end of formula", p.toks[p.pos].text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically known-good formulas; it panics on a
+// parse error. Intended for tests and examples.
+func MustParse(input string) *Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokAtom tokKind = iota + 1
+	tokTrue
+	tokFalse
+	tokNot
+	tokAnd
+	tokOr
+	tokImplies
+	tokIff
+	tokNext
+	tokEventually
+	tokGlobally
+	tokUntil
+	tokRelease
+	tokBefore
+	tokWeakUntil
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	s := input
+	emit := func(k tokKind, text string) { toks = append(toks, token{kind: k, text: text}) }
+	for len(s) > 0 {
+		r, size := utf8.DecodeRuneInString(s)
+		switch {
+		case unicode.IsSpace(r):
+			s = s[size:]
+		case strings.HasPrefix(s, "<->") || strings.HasPrefix(s, "<=>"):
+			emit(tokIff, s[:3])
+			s = s[3:]
+		case strings.HasPrefix(s, "->") || strings.HasPrefix(s, "=>"):
+			emit(tokImplies, s[:2])
+			s = s[2:]
+		case strings.HasPrefix(s, "⇒"):
+			emit(tokImplies, "⇒")
+			s = s[len("⇒"):]
+		case strings.HasPrefix(s, "⇔"):
+			emit(tokIff, "⇔")
+			s = s[len("⇔"):]
+		case strings.HasPrefix(s, "<>"):
+			emit(tokEventually, "<>")
+			s = s[2:]
+		case strings.HasPrefix(s, "[]"):
+			emit(tokGlobally, "[]")
+			s = s[2:]
+		case strings.HasPrefix(s, "&&"):
+			emit(tokAnd, "&&")
+			s = s[2:]
+		case strings.HasPrefix(s, "||"):
+			emit(tokOr, "||")
+			s = s[2:]
+		case strings.HasPrefix(s, "/\\"):
+			emit(tokAnd, "/\\")
+			s = s[2:]
+		case strings.HasPrefix(s, "\\/"):
+			emit(tokOr, "\\/")
+			s = s[2:]
+		case r == '&' || r == '∧':
+			emit(tokAnd, string(r))
+			s = s[size:]
+		case r == '|' || r == '∨':
+			emit(tokOr, string(r))
+			s = s[size:]
+		case r == '!' || r == '~' || r == '¬':
+			emit(tokNot, string(r))
+			s = s[size:]
+		case r == '○':
+			emit(tokNext, string(r))
+			s = s[size:]
+		case r == '◇':
+			emit(tokEventually, string(r))
+			s = s[size:]
+		case r == '□':
+			emit(tokGlobally, string(r))
+			s = s[size:]
+		case r == '(':
+			emit(tokLParen, "(")
+			s = s[size:]
+		case r == ')':
+			emit(tokRParen, ")")
+			s = s[size:]
+		case isIdentRune(r):
+			j := 0
+			for j < len(s) {
+				r2, sz := utf8.DecodeRuneInString(s[j:])
+				if !isIdentRune(r2) {
+					break
+				}
+				j += sz
+			}
+			id := s[:j]
+			s = s[j:]
+			switch id {
+			case "true":
+				emit(tokTrue, id)
+			case "false":
+				emit(tokFalse, id)
+			case "X", "O":
+				emit(tokNext, id)
+			case "F":
+				emit(tokEventually, id)
+			case "G":
+				emit(tokGlobally, id)
+			case "U":
+				emit(tokUntil, id)
+			case "R", "V":
+				emit(tokRelease, id)
+			case "B":
+				emit(tokBefore, id)
+			case "W":
+				emit(tokWeakUntil, id)
+			case "eps":
+				emit(tokAtom, "ε")
+			default:
+				emit(tokAtom, id)
+			}
+		default:
+			return nil, fmt.Errorf("ltl: unexpected character %q", r)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == 'ε'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if t, ok := p.peek(); ok && t.kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIff() (*Formula, error) {
+	l, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIff) {
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseImplies() (*Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokImplies) {
+		r, err := p.parseImplies() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (*Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOr) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (*Formula, error) {
+	l, err := p.parseBinaryTemporal()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		r, err := p.parseBinaryTemporal()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseBinaryTemporal() (*Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		switch t.kind {
+		case tokUntil:
+			p.pos++
+			r, err := p.parseBinaryTemporal() // right-associative
+			if err != nil {
+				return nil, err
+			}
+			return Until(l, r), nil
+		case tokRelease:
+			p.pos++
+			r, err := p.parseBinaryTemporal()
+			if err != nil {
+				return nil, err
+			}
+			return Release(l, r), nil
+		case tokBefore:
+			p.pos++
+			r, err := p.parseBinaryTemporal()
+			if err != nil {
+				return nil, err
+			}
+			return Before(l, r), nil
+		case tokWeakUntil:
+			p.pos++
+			r, err := p.parseBinaryTemporal()
+			if err != nil {
+				return nil, err
+			}
+			return WeakUntil(l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (*Formula, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("ltl: unexpected end of formula")
+	}
+	switch t.kind {
+	case tokNot:
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case tokNext:
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Next(f), nil
+	case tokEventually:
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually(f), nil
+	case tokGlobally:
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Globally(f), nil
+	case tokLParen:
+		p.pos++
+		f, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen) {
+			return nil, fmt.Errorf("ltl: missing closing parenthesis")
+		}
+		return f, nil
+	case tokTrue:
+		p.pos++
+		return True(), nil
+	case tokFalse:
+		p.pos++
+		return False(), nil
+	case tokAtom:
+		p.pos++
+		return Atom(t.text), nil
+	}
+	return nil, fmt.Errorf("ltl: unexpected token %q", t.text)
+}

@@ -1,0 +1,387 @@
+package ltl
+
+import (
+	"relive/internal/alphabet"
+	"relive/internal/buchi"
+)
+
+// TranslateBuchi translates a PLTL formula into a Büchi automaton over
+// the letters of the labeling's alphabet: the automaton accepts exactly
+// the ω-words x with x, λ ⊨ f. The construction is the classic
+// Gerth–Peled–Vardi–Wolper tableau to a generalized Büchi automaton,
+// followed by counter-based degeneralization. A letter a matches a
+// tableau node when λ(a) contains all positive literals of the node and
+// none of the negated ones.
+func TranslateBuchi(f *Formula, lab *Labeling) *buchi.Buchi {
+	nf := f.Normalize()
+	g := buildTableau(nf)
+	return g.toBuchi(lab, untilSubformulas(nf))
+}
+
+// TranslateNegation translates ¬f, the standard route to checking
+// L ⊆ L(f) without Büchi complementation.
+func TranslateNegation(f *Formula, lab *Labeling) *buchi.Buchi {
+	return TranslateBuchi(Not(f), lab)
+}
+
+// untilSubformulas returns the Until subformulas of a normalized formula,
+// one acceptance set each.
+func untilSubformulas(f *Formula) []*Formula {
+	seen := map[string]bool{}
+	var out []*Formula
+	var walk func(g *Formula)
+	walk = func(g *Formula) {
+		if g == nil || seen[g.Key()] {
+			return
+		}
+		seen[g.Key()] = true
+		if g.Op == OpUntil {
+			out = append(out, g)
+		}
+		walk(g.Left)
+		walk(g.Right)
+	}
+	walk(f)
+	return out
+}
+
+// formulaSet is a set of formulas keyed canonically.
+type formulaSet map[string]*Formula
+
+func (s formulaSet) add(f *Formula)      { s[f.Key()] = f }
+func (s formulaSet) has(f *Formula) bool { _, ok := s[f.Key()]; return ok }
+func (s formulaSet) clone() formulaSet {
+	c := make(formulaSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+func (s formulaSet) key() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// tableauNode is a node of the GPVW construction.
+type tableauNode struct {
+	id       int
+	incoming map[int]bool // predecessor node ids; -1 denotes "init"
+	new      formulaSet
+	old      formulaSet
+	next     formulaSet
+}
+
+type tableau struct {
+	nodes  []*tableauNode // closed nodes, in creation order
+	byKey  map[string]*tableauNode
+	nextID int
+}
+
+const initID = -1
+
+// buildTableau runs the GPVW node expansion for a normalized formula.
+func buildTableau(f *Formula) *tableau {
+	t := &tableau{byKey: map[string]*tableauNode{}}
+	start := &tableauNode{
+		id:       t.freshID(),
+		incoming: map[int]bool{initID: true},
+		new:      formulaSet{},
+		old:      formulaSet{},
+		next:     formulaSet{},
+	}
+	start.new.add(f)
+	t.expand(start)
+	return t
+}
+
+func (t *tableau) freshID() int {
+	id := t.nextID
+	t.nextID++
+	return id
+}
+
+func (t *tableau) expand(q *tableauNode) {
+	if len(q.new) == 0 {
+		k := q.old.key() + "|" + q.next.key()
+		if r, ok := t.byKey[k]; ok {
+			for in := range q.incoming {
+				r.incoming[in] = true
+			}
+			return
+		}
+		t.nodes = append(t.nodes, q)
+		t.byKey[k] = q
+		succ := &tableauNode{
+			id:       t.freshID(),
+			incoming: map[int]bool{q.id: true},
+			new:      q.next.clone(),
+			old:      formulaSet{},
+			next:     formulaSet{},
+		}
+		t.expand(succ)
+		return
+	}
+	// Pick any formula from New.
+	var f *Formula
+	for _, v := range q.new {
+		f = v
+		break
+	}
+	delete(q.new, f.Key())
+
+	switch f.Op {
+	case OpFalse:
+		return // contradiction: discard node
+	case OpTrue:
+		t.expand(q)
+	case OpAtom, OpNot:
+		// Literal (normalized formulas only negate atoms).
+		if q.old.has(negLiteral(f)) {
+			return // contradiction: discard node
+		}
+		q.old.add(f)
+		t.expand(q)
+	case OpAnd:
+		if !q.old.has(f.Left) {
+			q.new.add(f.Left)
+		}
+		if !q.old.has(f.Right) {
+			q.new.add(f.Right)
+		}
+		q.old.add(f)
+		t.expand(q)
+	case OpOr:
+		q1 := splitNode(t, q)
+		q2 := splitNode(t, q)
+		q1.old.add(f)
+		q2.old.add(f)
+		if !q1.old.has(f.Left) {
+			q1.new.add(f.Left)
+		}
+		if !q2.old.has(f.Right) {
+			q2.new.add(f.Right)
+		}
+		t.expand(q1)
+		t.expand(q2)
+	case OpNext:
+		q.old.add(f)
+		q.next.add(f.Left)
+		t.expand(q)
+	case OpUntil:
+		// ξ U ζ ≡ ζ ∨ (ξ ∧ X(ξ U ζ))
+		q1 := splitNode(t, q)
+		q2 := splitNode(t, q)
+		q1.old.add(f)
+		q2.old.add(f)
+		if !q1.old.has(f.Right) {
+			q1.new.add(f.Right)
+		}
+		if !q2.old.has(f.Left) {
+			q2.new.add(f.Left)
+		}
+		q2.next.add(f)
+		t.expand(q1)
+		t.expand(q2)
+	case OpRelease:
+		// ξ R ζ ≡ (ζ ∧ ξ) ∨ (ζ ∧ X(ξ R ζ))
+		q1 := splitNode(t, q)
+		q2 := splitNode(t, q)
+		q1.old.add(f)
+		q2.old.add(f)
+		if !q1.old.has(f.Left) {
+			q1.new.add(f.Left)
+		}
+		if !q1.old.has(f.Right) {
+			q1.new.add(f.Right)
+		}
+		if !q2.old.has(f.Right) {
+			q2.new.add(f.Right)
+		}
+		q2.next.add(f)
+		t.expand(q1)
+		t.expand(q2)
+	default:
+		panic("ltl: non-normalized formula reached the tableau")
+	}
+}
+
+// splitNode deep-copies q with a fresh id.
+func splitNode(t *tableau, q *tableauNode) *tableauNode {
+	in := make(map[int]bool, len(q.incoming))
+	for k, v := range q.incoming {
+		in[k] = v
+	}
+	return &tableauNode{
+		id:       t.freshID(),
+		incoming: in,
+		new:      q.new.clone(),
+		old:      q.old.clone(),
+		next:     q.next.clone(),
+	}
+}
+
+// negLiteral returns the complementary literal of a literal.
+func negLiteral(f *Formula) *Formula {
+	if f.Op == OpNot {
+		return f.Left
+	}
+	return Not(f)
+}
+
+// matches reports whether letter a satisfies the literal constraints in
+// old under the labeling.
+func matches(old formulaSet, a alphabet.Symbol, lab *Labeling) bool {
+	for _, f := range old {
+		switch f.Op {
+		case OpAtom:
+			if !lab.Has(a, f.Name) {
+				return false
+			}
+		case OpNot:
+			if lab.Has(a, f.Left.Name) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// toBuchi builds the degeneralized Büchi automaton from the tableau.
+func (t *tableau) toBuchi(lab *Labeling, untils []*Formula) *buchi.Buchi {
+	ab := lab.Alphabet()
+	k := len(untils)
+
+	// Acceptance sets: node ∈ F_u iff ζ ∈ old or u ∉ old.
+	inF := make([][]bool, len(t.nodes))
+	for ni, nd := range t.nodes {
+		inF[ni] = make([]bool, k)
+		for ui, u := range untils {
+			// A node fulfills u = ξ U ζ when ζ ∈ Old or when u is not
+			// promised at all. The constant true is never stored in Old
+			// (it imposes no constraint), so ζ = true counts as present.
+			inF[ni][ui] = nd.old.has(u.Right) || !nd.old.has(u) || u.Right.Op == OpTrue
+		}
+	}
+	nodeIdx := map[int]int{} // node id -> index in t.nodes
+	for ni, nd := range t.nodes {
+		nodeIdx[nd.id] = ni
+	}
+	// Precompute letter matches per node.
+	syms := ab.Symbols()
+	letterOK := make([][]bool, len(t.nodes))
+	for ni, nd := range t.nodes {
+		letterOK[ni] = make([]bool, len(syms))
+		for si, a := range syms {
+			letterOK[ni][si] = matches(nd.old, a, lab)
+		}
+	}
+	// Edges of the GBA: q -> r when q ∈ incoming(r); init -> r when
+	// initID ∈ incoming(r).
+	succs := make([][]int, len(t.nodes))
+	var initSuccs []int
+	for ri, r := range t.nodes {
+		for in := range r.incoming {
+			if in == initID {
+				initSuccs = append(initSuccs, ri)
+				continue
+			}
+			if qi, ok := nodeIdx[in]; ok {
+				succs[qi] = append(succs[qi], ri)
+			}
+		}
+	}
+
+	b := buchi.New(ab)
+	if k == 0 {
+		// No Until subformulas: every infinite run is accepting.
+		states := make([]buchi.State, len(t.nodes))
+		for ni := range t.nodes {
+			states[ni] = b.AddState(true)
+		}
+		init := b.AddState(false)
+		b.SetInitial(init)
+		addEdges := func(from buchi.State, targets []int) {
+			for _, ri := range targets {
+				for si, ok := range letterOK[ri] {
+					if ok {
+						b.AddTransition(from, syms[si], states[ri])
+					}
+				}
+			}
+		}
+		addEdges(init, initSuccs)
+		for qi := range t.nodes {
+			addEdges(states[qi], succs[qi])
+		}
+		return b
+	}
+
+	// Degeneralization: states (node, counter) with counter ∈ [0, k];
+	// counter k is the "just wrapped" flag (semantically counter 0) and
+	// is the Büchi acceptance. bump advances the counter when the target
+	// node is in the currently awaited acceptance set.
+	bump := func(counter int, target int) int {
+		v := counter
+		if v == k {
+			v = 0
+		}
+		if inF[target][v] {
+			v++
+		}
+		return v
+	}
+	type cfg struct{ node, counter int }
+	index := map[cfg]buchi.State{}
+	var queue []cfg
+	intern := func(c cfg) buchi.State {
+		if s, ok := index[c]; ok {
+			return s
+		}
+		s := b.AddState(c.counter == k)
+		index[c] = s
+		queue = append(queue, c)
+		return s
+	}
+	init := b.AddState(false)
+	b.SetInitial(init)
+	for _, ri := range initSuccs {
+		c := cfg{node: ri, counter: bump(0, ri)}
+		s := intern(c)
+		for si, ok := range letterOK[ri] {
+			if ok {
+				b.AddTransition(init, syms[si], s)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		from := index[c]
+		for _, ri := range succs[c.node] {
+			nc := cfg{node: ri, counter: bump(c.counter, ri)}
+			to := intern(nc)
+			for si, ok := range letterOK[ri] {
+				if ok {
+					b.AddTransition(from, syms[si], to)
+				}
+			}
+		}
+	}
+	return b
+}

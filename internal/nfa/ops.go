@@ -1,0 +1,209 @@
+package nfa
+
+import (
+	"relive/internal/alphabet"
+	"relive/internal/word"
+)
+
+// Intersect returns an NFA for L(a) ∩ L(b) via the product construction.
+// Both automata must be over the same alphabet; ε-transitions are removed
+// first.
+func Intersect(a, b *NFA) *NFA {
+	ae := a.RemoveEpsilon()
+	be := b.RemoveEpsilon()
+	out := New(a.ab)
+	type pair struct{ x, y State }
+	index := map[pair]State{}
+	var queue []pair
+	intern := func(p pair) State {
+		if s, ok := index[p]; ok {
+			return s
+		}
+		s := out.AddState(ae.accepting[p.x] && be.accepting[p.y])
+		index[p] = s
+		queue = append(queue, p)
+		return s
+	}
+	for _, x := range ae.initial {
+		for _, y := range be.initial {
+			out.SetInitial(intern(pair{x, y}))
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := index[p]
+		for sym, xs := range ae.trans[p.x] {
+			ys := be.trans[p.y][sym]
+			for _, x := range xs {
+				for _, y := range ys {
+					out.AddTransition(from, sym, intern(pair{x, y}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Union returns an NFA for L(a) ∪ L(b) by disjoint union of states.
+func Union(a, b *NFA) *NFA {
+	out := a.Clone()
+	offset := State(out.NumStates())
+	for i := 0; i < b.NumStates(); i++ {
+		out.AddState(b.accepting[i])
+	}
+	for i := range b.trans {
+		for sym, ts := range b.trans[i] {
+			for _, t := range ts {
+				out.AddTransition(State(i)+offset, sym, t+offset)
+			}
+		}
+	}
+	for _, s := range b.initial {
+		out.SetInitial(s + offset)
+	}
+	return out
+}
+
+// Included reports whether L(a) ⊆ L(b). When the inclusion fails, it
+// returns a shortest word in L(a) \ L(b) as a counterexample.
+func Included(a, b *NFA) (bool, word.Word) {
+	bd := b.Determinize().Complement() // complete DFA for the complement of L(b)
+	ae := a.RemoveEpsilon()
+
+	type pair struct {
+		x State // NFA state of a
+		y State // DFA state of complement(b)
+	}
+	type entry struct {
+		p      pair
+		parent int
+		sym    alphabet.Symbol
+	}
+	var queue []entry
+	seen := map[pair]bool{}
+	push := func(p pair, parent int, sym alphabet.Symbol) {
+		if !seen[p] {
+			seen[p] = true
+			queue = append(queue, entry{p: p, parent: parent, sym: sym})
+		}
+	}
+	for _, x := range ae.initial {
+		push(pair{x, bd.Initial()}, -1, alphabet.Epsilon)
+	}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if ae.accepting[cur.p.x] && bd.Accepting(cur.p.y) {
+			var w word.Word
+			for j := i; queue[j].parent != -1; j = queue[j].parent {
+				w = append(w, queue[j].sym)
+			}
+			for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+				w[l], w[r] = w[r], w[l]
+			}
+			return false, w
+		}
+		for sym, xs := range ae.trans[cur.p.x] {
+			y, ok := bd.Delta(cur.p.y, sym)
+			if !ok {
+				continue // complement DFA is complete; cannot happen
+			}
+			for _, x := range xs {
+				push(pair{x, y}, i, sym)
+			}
+		}
+	}
+	return true, nil
+}
+
+// LanguageEqual reports whether L(a) = L(b). On inequality it returns a
+// word in the symmetric difference.
+func LanguageEqual(a, b *NFA) (bool, word.Word) {
+	if ok, w := Included(a, b); !ok {
+		return false, w
+	}
+	if ok, w := Included(b, a); !ok {
+		return false, w
+	}
+	return true, nil
+}
+
+// IsPrefixClosed reports whether L(a) is prefix-closed, i.e.
+// L = pre(L). On failure it returns a word in pre(L) \ L.
+func (a *NFA) IsPrefixClosed() (bool, word.Word) {
+	return Included(a.PrefixLanguage(), a)
+}
+
+// EquivalentDFA reports whether two DFAs accept the same language, by a
+// synchronous product walk over their completions.
+func EquivalentDFA(a, b *DFA) bool {
+	ac := a.Complete()
+	bc := b.Complete()
+	type pair struct{ x, y State }
+	seen := map[pair]bool{}
+	queue := []pair{{ac.Initial(), bc.Initial()}}
+	seen[queue[0]] = true
+	syms := a.ab.Symbols()
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if ac.Accepting(p.x) != bc.Accepting(p.y) {
+			return false
+		}
+		for _, sym := range syms {
+			x, _ := ac.Delta(p.x, sym)
+			y, _ := bc.Delta(p.y, sym)
+			np := pair{x, y}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}
+
+// HasMaximalWords reports whether L(a) contains a maximal word: a word in
+// L that is not a proper prefix of another word in L (the precondition of
+// Theorems 8.2/8.3 requires h(L) to have none). On success it returns a
+// maximal word as witness.
+func (a *NFA) HasMaximalWords() (bool, word.Word) {
+	// w ∈ L is maximal iff cont(w, L) ∩ Σ⁺ = ∅, i.e. from the
+	// configuration reached by w no further word of L is readable.
+	// Work on the trim DFA of L: a word is maximal iff it reaches an
+	// accepting state from which no accepting state is reachable by a
+	// nonempty path.
+	d := a.Determinize().Trim()
+	if d.NumStates() == 0 {
+		return false, nil
+	}
+	n := d.NumStates()
+	// canExtend[s]: an accepting state is reachable from s via ≥1 step.
+	canExtend := make([]bool, n)
+	// One backward pass suffices: iterate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if canExtend[i] {
+				continue
+			}
+			for _, t := range d.trans[i] {
+				if d.accepting[t] || canExtend[t] {
+					canExtend[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Find a shortest path to an accepting, non-extendable state.
+	nfa := d.ToNFA()
+	for i := 0; i < n; i++ {
+		nfa.SetAccepting(State(i), d.accepting[i] && !canExtend[i])
+	}
+	w, ok := nfa.ShortestAccepted()
+	if !ok {
+		return false, nil
+	}
+	return true, w
+}

@@ -1,0 +1,158 @@
+// Package paper reconstructs the concrete artifacts of Nitsche & Wolper
+// (PODC'97): the Petri net of Figure 1, the behavior systems of
+// Figures 2 and 3, the abstraction homomorphism leading to Figure 4, and
+// the Section 5 example. The figures are images in the source; these
+// models are rebuilt from the paper's prose, which pins down all the
+// facts the experiments check:
+//
+//   - the system is a server that, after a request, answers result or
+//     rejection depending on whether its resource is free or locked;
+//   - Figure 2 is the reachability graph of Figure 1 and has the
+//     computation lock·(request·no·reject)^ω, so the decision between
+//     result and rejection is taken by internal actions yes/no and
+//     the resource toggles via lock/free;
+//   - □◇result is not satisfied but is a relative liveness property of
+//     Figure 2;
+//   - Figure 3 drops the possibility of freeing a locked resource and
+//     additionally allows rejections while the resource is free; no
+//     fairness makes □◇result true there, and it is not a relative
+//     liveness property;
+//   - hiding everything but request/result/reject abstracts both
+//     Figures 2 and 3 to the same two-state system (Figure 4), and the
+//     homomorphism is simple on Figure 2's language but not on
+//     Figure 3's.
+package paper
+
+import (
+	"relive/internal/alphabet"
+	"relive/internal/hom"
+	"relive/internal/ltl"
+	"relive/internal/petri"
+	"relive/internal/ts"
+)
+
+// Action names of the server model.
+const (
+	ActRequest = "request"
+	ActResult  = "result"
+	ActReject  = "reject"
+	ActYes     = "yes"
+	ActNo      = "no"
+	ActLock    = "lock"
+	ActFree    = "free"
+)
+
+// Fig1Net returns the Petri net of Figure 1: a server with places for
+// the client conversation (idle/waiting/granted/denied) and the resource
+// state (free/locked).
+func Fig1Net() *petri.Net {
+	n := petri.New()
+	n.AddPlace("idle", 1)
+	n.AddPlace("free", 1)
+	n.AddTransition(ActRequest,
+		map[string]int{"idle": 1},
+		map[string]int{"waiting": 1})
+	n.AddTransition(ActYes,
+		map[string]int{"waiting": 1, "free": 1},
+		map[string]int{"granted": 1, "free": 1})
+	n.AddTransition(ActNo,
+		map[string]int{"waiting": 1, "locked": 1},
+		map[string]int{"denied": 1, "locked": 1})
+	n.AddTransition(ActResult,
+		map[string]int{"granted": 1},
+		map[string]int{"idle": 1})
+	n.AddTransition(ActReject,
+		map[string]int{"denied": 1},
+		map[string]int{"idle": 1})
+	n.AddTransition(ActLock,
+		map[string]int{"free": 1},
+		map[string]int{"locked": 1})
+	n.AddTransition(ActFree,
+		map[string]int{"locked": 1},
+		map[string]int{"free": 1})
+	return n
+}
+
+// Fig2System returns the behaviors of the small system (Figure 2): the
+// reachability graph of the Figure 1 net. It has 8 states (4 client
+// phases × 2 resource states).
+func Fig2System() (*ts.System, error) {
+	sys, err := Fig1Net().ReachabilityGraph(64)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Trim()
+}
+
+// Fig3System returns the behaviors of the erroneous system (Figure 3):
+// a locked resource can never be freed again, and a request can be
+// rejected even while the resource is available.
+func Fig3System() *ts.System {
+	ab := alphabet.FromNames(ActRequest, ActResult, ActReject, ActYes, ActNo, ActLock)
+	s := ts.New(ab)
+	// Free half.
+	s.AddEdge("F.idle", ActRequest, "F.waiting")
+	s.AddEdge("F.waiting", ActYes, "F.granted")
+	s.AddEdge("F.waiting", ActNo, "F.denied") // the extra rejection branch
+	s.AddEdge("F.granted", ActResult, "F.idle")
+	s.AddEdge("F.denied", ActReject, "F.idle")
+	// Locking (possible at any phase), irrevocably.
+	s.AddEdge("F.idle", ActLock, "L.idle")
+	s.AddEdge("F.waiting", ActLock, "L.waiting")
+	s.AddEdge("F.granted", ActLock, "L.granted")
+	s.AddEdge("F.denied", ActLock, "L.denied")
+	// Locked half: no yes, no way back.
+	s.AddEdge("L.idle", ActRequest, "L.waiting")
+	s.AddEdge("L.waiting", ActNo, "L.denied")
+	s.AddEdge("L.granted", ActResult, "L.idle")
+	s.AddEdge("L.denied", ActReject, "L.idle")
+	init, _ := s.LookupState("F.idle")
+	s.SetInitial(init)
+	return s
+}
+
+// ObservableActions are the actions kept by the Section 2 abstraction.
+var ObservableActions = []string{ActRequest, ActResult, ActReject}
+
+// AbstractionHom returns the abstracting homomorphism of Section 2 for
+// the given system: request, result and reject are observed, every other
+// action is hidden (mapped to ε).
+func AbstractionHom(s *ts.System) *hom.Hom {
+	return hom.Identity(s.Alphabet(), ObservableActions...)
+}
+
+// Fig4System returns the abstract version of the small system
+// (Figure 4): the image of Figure 2 (equally: of Figure 3) under the
+// Section 2 homomorphism, reduced to its minimal deterministic form.
+func Fig4System() (*ts.System, error) {
+	sys, err := Fig2System()
+	if err != nil {
+		return nil, err
+	}
+	return AbstractionHom(sys).ImageSystem(sys)
+}
+
+// PropertyInfResults returns □◇result, the property discussed throughout
+// Sections 2 and 8.
+func PropertyInfResults() *ltl.Formula {
+	return ltl.Globally(ltl.Eventually(ltl.Atom(ActResult)))
+}
+
+// Section5System returns the one-state system with behaviors {a,b}^ω
+// from Section 5.
+func Section5System() *ts.System {
+	ab := alphabet.FromNames("a", "b")
+	s := ts.New(ab)
+	s.AddEdge("q", "a", "q")
+	s.AddEdge("q", "b", "q")
+	init, _ := s.LookupState("q")
+	s.SetInitial(init)
+	return s
+}
+
+// Section5Property returns ◇(a ∧ ○a): a relative liveness property of
+// {a,b}^ω that strong fairness on the minimal automaton does not
+// enforce, motivating the added state information of Theorem 5.1.
+func Section5Property() *ltl.Formula {
+	return ltl.Eventually(ltl.And(ltl.Atom("a"), ltl.Next(ltl.Atom("a"))))
+}

@@ -1,0 +1,111 @@
+package paper
+
+import (
+	"testing"
+
+	"relive/internal/word"
+)
+
+func TestFig1ReachabilityIsFig2(t *testing.T) {
+	sys, err := Fig2System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 client phases × 2 resource states.
+	if sys.NumStates() != 8 {
+		t.Errorf("Figure 2 has %d states, want 8", sys.NumStates())
+	}
+	ab := sys.Alphabet()
+	// The paper's counterexample path exists.
+	if !sys.AcceptsWord(word.FromNames(ab, ActLock, ActRequest, ActNo, ActReject, ActRequest)) {
+		t.Error("lock·request·no·reject·request not a path of Figure 2")
+	}
+	// A granted request yields a result.
+	if !sys.AcceptsWord(word.FromNames(ab, ActRequest, ActYes, ActResult)) {
+		t.Error("request·yes·result not a path of Figure 2")
+	}
+	// yes requires a free resource.
+	if sys.AcceptsWord(word.FromNames(ab, ActLock, ActRequest, ActYes)) {
+		t.Error("yes fired while the resource was locked")
+	}
+	// no requires a locked resource in the correct system.
+	if sys.AcceptsWord(word.FromNames(ab, ActRequest, ActNo)) {
+		t.Error("no fired while the resource was free (Figure 2 has no such branch)")
+	}
+	// The resource can be freed again.
+	if !sys.AcceptsWord(word.FromNames(ab, ActLock, ActFree, ActRequest, ActYes, ActResult)) {
+		t.Error("lock·free·request·yes·result not a path of Figure 2")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	sys := Fig3System()
+	ab := sys.Alphabet()
+	if _, ok := ab.Lookup(ActFree); ok {
+		t.Error("Figure 3 must not have a free action")
+	}
+	// The erroneous extra branch: rejection while free.
+	if !sys.AcceptsWord(word.FromNames(ab, ActRequest, ActNo, ActReject)) {
+		t.Error("request·no·reject (while free) not a path of Figure 3")
+	}
+	// Locking is irrevocable: after lock, yes never fires.
+	if sys.AcceptsWord(word.FromNames(ab, ActLock, ActRequest, ActYes)) {
+		t.Error("yes fired after lock in Figure 3")
+	}
+	// Behaviors still infinite everywhere (trim keeps all states).
+	trimmed, err := sys.Trim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.NumStates() != sys.NumStates() {
+		t.Errorf("Figure 3 has dead states: %d -> %d", sys.NumStates(), trimmed.NumStates())
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	sys, err := Fig4System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumStates() != 2 {
+		t.Fatalf("Figure 4 has %d states, want 2", sys.NumStates())
+	}
+	ab := sys.Alphabet()
+	if !sys.AcceptsWord(word.FromNames(ab, ActRequest, ActResult, ActRequest, ActReject)) {
+		t.Error("request·result·request·reject not a path of Figure 4")
+	}
+	if sys.AcceptsWord(word.FromNames(ab, ActResult)) {
+		t.Error("result without request accepted by Figure 4")
+	}
+	if sys.AcceptsWord(word.FromNames(ab, ActRequest, ActRequest)) {
+		t.Error("two requests in a row accepted by Figure 4")
+	}
+}
+
+func TestSection5Artifacts(t *testing.T) {
+	sys := Section5System()
+	if sys.NumStates() != 1 {
+		t.Errorf("Section 5 system has %d states, want 1", sys.NumStates())
+	}
+	if got := Section5Property().String(); got != "◇(a ∧ ○a)" {
+		t.Errorf("Section 5 property = %q", got)
+	}
+	if got := PropertyInfResults().String(); got != "□◇result" {
+		t.Errorf("□◇result renders as %q", got)
+	}
+}
+
+func TestFig1NetStructure(t *testing.T) {
+	n := Fig1Net()
+	if n.NumPlaces() != 6 {
+		t.Errorf("Figure 1 net has %d places, want 6", n.NumPlaces())
+	}
+	m := n.InitialMarking()
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	if total != 2 {
+		t.Errorf("initial marking has %d tokens, want 2 (idle + free)", total)
+	}
+}

@@ -1,0 +1,190 @@
+package petri
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// PlaceInvariant is a vector y of rational weights with yᵀ·C = 0 for
+// the net's incidence matrix C: the weighted token sum Σ y(p)·M(p) is
+// constant across all reachable markings. Invariants with nonnegative
+// weights covering every place prove boundedness; the Figure 1 server
+// net, for instance, has the invariants idle+waiting+granted+denied = 1
+// and free+locked = 1.
+type PlaceInvariant struct {
+	Weights []*big.Rat // one weight per place
+}
+
+// String renders the invariant as a weighted sum over marked places.
+func (inv PlaceInvariant) String(n *Net) string {
+	var parts []string
+	for p, w := range inv.Weights {
+		if w.Sign() == 0 {
+			continue
+		}
+		if w.Cmp(big.NewRat(1, 1)) == 0 {
+			parts = append(parts, n.PlaceName(PlaceID(p)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s·%s", w.RatString(), n.PlaceName(PlaceID(p))))
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Value returns the invariant's weighted token sum at a marking.
+func (inv PlaceInvariant) Value(m Marking) *big.Rat {
+	sum := new(big.Rat)
+	for p, w := range inv.Weights {
+		if p < len(m) && m[p] != 0 {
+			term := new(big.Rat).Mul(w, big.NewRat(int64(m[p]), 1))
+			sum.Add(sum, term)
+		}
+	}
+	return sum
+}
+
+// IncidenceMatrix returns C with C[p][t] = Post(t,p) − Pre(t,p).
+func (n *Net) IncidenceMatrix() [][]int {
+	c := make([][]int, n.NumPlaces())
+	for p := range c {
+		c[p] = make([]int, len(n.trans))
+	}
+	for ti, t := range n.trans {
+		for p, k := range t.Pre {
+			c[p][ti] -= k
+		}
+		for p, k := range t.Post {
+			c[p][ti] += k
+		}
+	}
+	return c
+}
+
+// PlaceInvariants returns a basis of the left null space of the
+// incidence matrix — all place invariants, up to linear combination —
+// computed by Gaussian elimination over the rationals (exact, no
+// floating point).
+func (n *Net) PlaceInvariants() []PlaceInvariant {
+	numP := n.NumPlaces()
+	numT := len(n.trans)
+	// Solve yᵀ·C = 0, i.e. Cᵀ·y = 0: build Cᵀ (numT × numP) and find
+	// the null space basis.
+	m := make([][]*big.Rat, numT)
+	c := n.IncidenceMatrix()
+	for t := 0; t < numT; t++ {
+		m[t] = make([]*big.Rat, numP)
+		for p := 0; p < numP; p++ {
+			m[t][p] = big.NewRat(int64(c[p][t]), 1)
+		}
+	}
+	// Gaussian elimination to reduced row echelon form.
+	pivotCol := make([]int, 0, numT)
+	row := 0
+	for col := 0; col < numP && row < numT; col++ {
+		sel := -1
+		for r := row; r < numT; r++ {
+			if m[r][col].Sign() != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m[row], m[sel] = m[sel], m[row]
+		inv := new(big.Rat).Inv(m[row][col])
+		for j := col; j < numP; j++ {
+			m[row][j] = new(big.Rat).Mul(m[row][j], inv)
+		}
+		for r := 0; r < numT; r++ {
+			if r == row || m[r][col].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Set(m[r][col])
+			for j := col; j < numP; j++ {
+				term := new(big.Rat).Mul(factor, m[row][j])
+				m[r][j] = new(big.Rat).Sub(m[r][j], term)
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	isPivot := make([]bool, numP)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	// One basis vector per free column.
+	var basis []PlaceInvariant
+	for free := 0; free < numP; free++ {
+		if isPivot[free] {
+			continue
+		}
+		y := make([]*big.Rat, numP)
+		for p := range y {
+			y[p] = new(big.Rat)
+		}
+		y[free].SetInt64(1)
+		for r, pc := range pivotCol {
+			// y[pc] = -m[r][free] (row r is 1 at pc).
+			y[pc] = new(big.Rat).Neg(m[r][free])
+		}
+		basis = append(basis, PlaceInvariant{Weights: y})
+	}
+	return basis
+}
+
+// CheckInvariant verifies yᵀ·C = 0 directly against every transition.
+func (n *Net) CheckInvariant(inv PlaceInvariant) bool {
+	c := n.IncidenceMatrix()
+	for t := range n.trans {
+		sum := new(big.Rat)
+		for p := 0; p < n.NumPlaces(); p++ {
+			if c[p][t] == 0 {
+				continue
+			}
+			term := new(big.Rat).Mul(inv.Weights[p], big.NewRat(int64(c[p][t]), 1))
+			sum.Add(sum, term)
+		}
+		if sum.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCoveredByPositiveInvariant reports whether some nonnegative linear
+// combination of the invariant basis assigns positive weight to every
+// place, which proves the net bounded. The implementation uses the
+// simple sufficient check of summing the basis vectors that are
+// themselves nonnegative.
+func (n *Net) IsCoveredByPositiveInvariant() bool {
+	basis := n.PlaceInvariants()
+	covered := make([]bool, n.NumPlaces())
+	for _, inv := range basis {
+		nonneg := true
+		for _, w := range inv.Weights {
+			if w.Sign() < 0 {
+				nonneg = false
+				break
+			}
+		}
+		if !nonneg {
+			continue
+		}
+		for p, w := range inv.Weights {
+			if w.Sign() > 0 {
+				covered[p] = true
+			}
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return len(covered) > 0
+}

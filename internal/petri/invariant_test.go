@@ -1,0 +1,123 @@
+package petri
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestIncidenceMatrix(t *testing.T) {
+	n := producerConsumer(2)
+	c := n.IncidenceMatrix()
+	// produce: slots -1, items +1; consume: slots +1, items -1.
+	if c[0][0] != -1 || c[1][0] != 1 || c[0][1] != 1 || c[1][1] != -1 {
+		t.Errorf("incidence matrix = %v", c)
+	}
+}
+
+func TestPlaceInvariantsProducerConsumer(t *testing.T) {
+	n := producerConsumer(3)
+	basis := n.PlaceInvariants()
+	if len(basis) != 1 {
+		t.Fatalf("basis size = %d, want 1", len(basis))
+	}
+	inv := basis[0]
+	if !n.CheckInvariant(inv) {
+		t.Fatal("basis vector is not an invariant")
+	}
+	// slots + items is constant = 3.
+	if got := inv.Value(n.InitialMarking()); got.Cmp(inv.Value(Marking{1, 2})) != 0 {
+		t.Errorf("invariant value changed: %v vs %v", got, inv.Value(Marking{1, 2}))
+	}
+	if !n.IsCoveredByPositiveInvariant() {
+		t.Error("producer/consumer net should be covered (bounded)")
+	}
+}
+
+func TestInvariantValuePreservedAlongFirings(t *testing.T) {
+	n := producerConsumer(2)
+	basis := n.PlaceInvariants()
+	rng := rand.New(rand.NewSource(7))
+	m := n.InitialMarking()
+	initVals := make([]*big.Rat, len(basis))
+	for i, inv := range basis {
+		initVals[i] = inv.Value(m)
+	}
+	for step := 0; step < 50; step++ {
+		var enabled []Transition
+		for _, tr := range n.trans {
+			if n.Enabled(tr, m) {
+				enabled = append(enabled, tr)
+			}
+		}
+		if len(enabled) == 0 {
+			break
+		}
+		m = n.Fire(enabled[rng.Intn(len(enabled))], m)
+		for i, inv := range basis {
+			if inv.Value(m).Cmp(initVals[i]) != 0 {
+				t.Fatalf("invariant %d violated at step %d: %v != %v",
+					i, step, inv.Value(m), initVals[i])
+			}
+		}
+	}
+}
+
+func TestFig1StyleInvariants(t *testing.T) {
+	// Rebuild the paper's server net shape locally (petri cannot import
+	// the paper package, which imports petri).
+	n := New()
+	n.AddPlace("idle", 1)
+	n.AddPlace("free", 1)
+	n.AddTransition("request", map[string]int{"idle": 1}, map[string]int{"waiting": 1})
+	n.AddTransition("yes", map[string]int{"waiting": 1, "free": 1}, map[string]int{"granted": 1, "free": 1})
+	n.AddTransition("no", map[string]int{"waiting": 1, "locked": 1}, map[string]int{"denied": 1, "locked": 1})
+	n.AddTransition("result", map[string]int{"granted": 1}, map[string]int{"idle": 1})
+	n.AddTransition("reject", map[string]int{"denied": 1}, map[string]int{"idle": 1})
+	n.AddTransition("lock", map[string]int{"free": 1}, map[string]int{"locked": 1})
+	n.AddTransition("free", map[string]int{"locked": 1}, map[string]int{"free": 1})
+
+	basis := n.PlaceInvariants()
+	// Client cycle (4 places) and resource cycle (2 places): 2 invariants.
+	if len(basis) != 2 {
+		t.Fatalf("basis size = %d, want 2 (client and resource cycles)", len(basis))
+	}
+	for i, inv := range basis {
+		if !n.CheckInvariant(inv) {
+			t.Errorf("basis vector %d not an invariant: %s", i, inv.String(n))
+		}
+	}
+	if !n.IsCoveredByPositiveInvariant() {
+		t.Error("server net should be covered by positive invariants (it is 1-bounded)")
+	}
+}
+
+func TestUnboundedNetNotCovered(t *testing.T) {
+	n := New()
+	n.AddPlace("p", 1)
+	n.AddTransition("t", map[string]int{"p": 1}, map[string]int{"p": 2})
+	// Incidence is the 1×1 matrix [1]: the only invariant is y = 0, so
+	// no positive invariant covers p.
+	if len(n.PlaceInvariants()) != 0 {
+		t.Errorf("unbounded net has nonzero invariant basis")
+	}
+	if n.IsCoveredByPositiveInvariant() {
+		t.Error("unbounded net reported covered")
+	}
+}
+
+func TestInvariantString(t *testing.T) {
+	n := producerConsumer(1)
+	basis := n.PlaceInvariants()
+	if len(basis) != 1 {
+		t.Fatal("unexpected basis")
+	}
+	s := basis[0].String(n)
+	if s == "0" || s == "" {
+		t.Errorf("String = %q", s)
+	}
+	zero := PlaceInvariant{Weights: []*big.Rat{new(big.Rat), new(big.Rat)}}
+	if zero.String(n) != "0" {
+		t.Errorf("zero invariant String = %q", zero.String(n))
+	}
+}

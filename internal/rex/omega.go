@@ -1,0 +1,80 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+
+	"relive/internal/alphabet"
+	"relive/internal/buchi"
+)
+
+// OmegaExpr is an ω-regular expression U·(V)^ω with regular U and V.
+type OmegaExpr struct {
+	Prefix *Expr // may denote {ε}
+	Loop   *Expr // must not accept ε
+	ab     *alphabet.Alphabet
+}
+
+// ParseOmega parses an ω-regular expression of the form
+//
+//	[prefix-expression] ( loop-expression ) ^w
+//
+// e.g. "lock ( request no reject ) ^w" for the paper's counterexample
+// computation, or "( a | b ) ( b ) ^w". The prefix may be empty. "^w"
+// may also be written "^ω".
+func ParseOmega(ab *alphabet.Alphabet, text string) (*OmegaExpr, error) {
+	trimmed := strings.TrimSpace(text)
+	var body string
+	switch {
+	case strings.HasSuffix(trimmed, "^w"):
+		body = strings.TrimSpace(strings.TrimSuffix(trimmed, "^w"))
+	case strings.HasSuffix(trimmed, "^ω"):
+		body = strings.TrimSpace(strings.TrimSuffix(trimmed, "^ω"))
+	default:
+		return nil, fmt.Errorf("rex: ω-expression must end with \"^w\"")
+	}
+	if !strings.HasSuffix(body, ")") {
+		return nil, fmt.Errorf("rex: the loop of an ω-expression must be parenthesized: (V)^w")
+	}
+	// Find the matching "(" of the final ")".
+	depth := 0
+	open := -1
+	for i := len(body) - 1; i >= 0; i-- {
+		switch body[i] {
+		case ')':
+			depth++
+		case '(':
+			depth--
+			if depth == 0 {
+				open = i
+			}
+		}
+		if open >= 0 {
+			break
+		}
+	}
+	if open < 0 {
+		return nil, fmt.Errorf("rex: unbalanced parentheses in ω-expression")
+	}
+	prefixText := strings.TrimSpace(body[:open])
+	loopText := strings.TrimSpace(body[open+1 : len(body)-1])
+	loop, err := Parse(ab, loopText)
+	if err != nil {
+		return nil, fmt.Errorf("rex: loop: %w", err)
+	}
+	var prefix *Expr
+	if prefixText == "" {
+		prefix = &Expr{root: epsNode{}, ab: ab}
+	} else {
+		prefix, err = Parse(ab, prefixText)
+		if err != nil {
+			return nil, fmt.Errorf("rex: prefix: %w", err)
+		}
+	}
+	return &OmegaExpr{Prefix: prefix, Loop: loop, ab: ab}, nil
+}
+
+// Buchi compiles the ω-expression to a Büchi automaton for U·V^ω.
+func (o *OmegaExpr) Buchi() (*buchi.Buchi, error) {
+	return buchi.OmegaConcat(o.Prefix.NFA(), o.Loop.NFA())
+}

@@ -1,0 +1,101 @@
+// Package telecom models a small intelligent-network feature-interaction
+// scenario, standing in for the proprietary case study of reference [6]
+// of Nitsche & Wolper (PODC'97) ("Verification by behavior abstraction:
+// a case study of service interaction detection in intelligent telephone
+// networks"). Two features — call forwarding on busy and voice mail on
+// busy — compete for the same trigger. The models exercise exactly the
+// pipeline the paper advocates: compose, abstract away internal
+// signalling, check a relative liveness property on the abstraction, and
+// trust the verdict because the hiding homomorphism is simple.
+package telecom
+
+import (
+	"relive/internal/alphabet"
+	"relive/internal/hom"
+	"relive/internal/ltl"
+	"relive/internal/ts"
+)
+
+// Action names of the telephone model. Observable actions are the
+// subscriber-visible ones; the rest is internal signalling.
+const (
+	ActCall      = "call"      // B dials A
+	ActAnswer    = "answer"    // A answers
+	ActHangup    = "hangup"    // call ends
+	ActBusy      = "busy"      // A is busy: features trigger
+	ActForward   = "forward"   // CF: divert to C
+	ActFwdAnswer = "fwdanswer" // C answers the diverted call
+	ActBounce    = "bounce"    // C is busy too: diverted call bounces back
+	ActVoicemail = "voicemail" // VM: divert to the mailbox
+	ActRecord    = "record"    // caller leaves a message
+)
+
+// ObservableActions are what the subscriber sees; everything else is
+// hidden by the Abstraction homomorphism.
+var ObservableActions = []string{ActCall, ActAnswer, ActFwdAnswer, ActRecord}
+
+// HandledProperty is the service guarantee: every call is eventually
+// handled — answered, answered after forwarding, or recorded.
+// In Σ'-normal form over the observable alphabet.
+func HandledProperty() *ltl.Formula {
+	handled := ltl.Or(ltl.Atom(ActAnswer), ltl.Or(ltl.Atom(ActFwdAnswer), ltl.Atom(ActRecord)))
+	return ltl.Globally(ltl.Implies(ltl.Atom(ActCall), ltl.Eventually(handled)))
+}
+
+// WellIntegrated returns the switch with both features installed and a
+// sane arbitration: when a diverted call bounces (C busy as well), the
+// voice-mail feature remains available, so under fairness every call is
+// eventually handled. The bouncing loop makes the property fail without
+// fairness — it is a relative liveness property, not a satisfied one.
+func WellIntegrated() *ts.System {
+	ab := alphabet.FromNames(ActCall, ActAnswer, ActHangup, ActBusy,
+		ActForward, ActFwdAnswer, ActBounce, ActVoicemail, ActRecord)
+	s := ts.New(ab)
+	s.AddEdge("idle", ActCall, "ringing")
+	s.AddEdge("ringing", ActAnswer, "talking")
+	s.AddEdge("talking", ActHangup, "idle")
+	s.AddEdge("ringing", ActBusy, "contended")
+	// Both features compete for the busy trigger.
+	s.AddEdge("contended", ActForward, "diverted")
+	s.AddEdge("contended", ActVoicemail, "recording")
+	s.AddEdge("diverted", ActFwdAnswer, "talking")
+	s.AddEdge("diverted", ActBounce, "contended") // C busy: try again
+	s.AddEdge("recording", ActRecord, "idle")
+	init, _ := s.LookupState("idle")
+	s.SetInitial(init)
+	return s
+}
+
+// Misintegrated returns the broken arbitration: once the call has been
+// diverted and bounced, the voice-mail option is lost (the feature
+// state machine believes forwarding owns the call), so the diverted
+// call can bounce forever with no handler left. No fairness helps; the
+// service guarantee is not even a relative liveness property.
+func Misintegrated() *ts.System {
+	ab := alphabet.FromNames(ActCall, ActAnswer, ActHangup, ActBusy,
+		ActForward, ActFwdAnswer, ActBounce, ActVoicemail, ActRecord)
+	s := ts.New(ab)
+	s.AddEdge("idle", ActCall, "ringing")
+	s.AddEdge("ringing", ActAnswer, "talking")
+	s.AddEdge("talking", ActHangup, "idle")
+	s.AddEdge("ringing", ActBusy, "contended")
+	s.AddEdge("contended", ActForward, "diverted")
+	s.AddEdge("contended", ActVoicemail, "recording")
+	s.AddEdge("diverted", ActFwdAnswer, "talking")
+	// The interaction bug: after a bounce the voice-mail feature is gone
+	// (forwarding believes it owns the call), and the two busy parties
+	// forward to each other forever with no handler reachable again.
+	s.AddEdge("diverted", ActBounce, "fwdonly")
+	s.AddEdge("fwdonly", ActForward, "fwdloop")
+	s.AddEdge("fwdloop", ActBounce, "fwdonly")
+	s.AddEdge("recording", ActRecord, "idle")
+	init, _ := s.LookupState("idle")
+	s.SetInitial(init)
+	return s
+}
+
+// Abstraction hides the internal signalling, keeping only the
+// subscriber-visible actions.
+func Abstraction(s *ts.System) *hom.Hom {
+	return hom.Identity(s.Alphabet(), ObservableActions...)
+}

@@ -1,0 +1,123 @@
+package ts
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"relive/internal/alphabet"
+)
+
+// Parse reads a system from the line-based text format:
+//
+//	# comment
+//	init <state>
+//	<from> <action> <to>
+//
+// States and actions are interned on first use. The init line may appear
+// anywhere; exactly one is required.
+func Parse(r io.Reader) (*System, error) {
+	s := New(alphabet.New())
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	haveInit := false
+	var initName string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "init":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ts: line %d: init wants one state name", lineNo)
+			}
+			if haveInit {
+				return nil, fmt.Errorf("ts: line %d: duplicate init", lineNo)
+			}
+			haveInit = true
+			initName = fields[1]
+		case len(fields) == 3:
+			s.AddEdge(fields[0], fields[1], fields[2])
+		default:
+			return nil, fmt.Errorf("ts: line %d: want %q or %q", lineNo, "init <state>", "<from> <action> <to>")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ts: read: %w", err)
+	}
+	if !haveInit {
+		return nil, fmt.Errorf("ts: missing init line")
+	}
+	s.SetInitial(s.AddState(initName))
+	return s, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(text string) (*System, error) {
+	return Parse(strings.NewReader(text))
+}
+
+// Format writes the system in the text format accepted by Parse.
+func (s *System) Format(w io.Writer) error {
+	if s.initial >= 0 {
+		if _, err := fmt.Fprintf(w, "init %s\n", s.names[s.initial]); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Edges() {
+		if _, err := fmt.Fprintf(w, "%s %s %s\n", s.names[e.From], s.ab.Name(e.Sym), s.names[e.To]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatString renders the system in the text format.
+func (s *System) FormatString() string {
+	var b strings.Builder
+	_ = s.Format(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// DOT renders the system as a Graphviz digraph. The initial state is
+// shaded grey, matching the convention of the paper's figures.
+func (s *System) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for i, n := range s.names {
+		attrs := ""
+		if State(i) == s.initial {
+			attrs = " style=filled fillcolor=grey80"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", n, n, attrs)
+	}
+	// Group parallel edges by (from, to) for readability.
+	type key struct{ from, to State }
+	labels := map[key][]string{}
+	for _, e := range s.Edges() {
+		k := key{e.From, e.To}
+		labels[k] = append(labels[k], s.ab.Name(e.Sym))
+	}
+	keys := make([]key, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+			s.names[k.from], s.names[k.to], strings.Join(labels[k], ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

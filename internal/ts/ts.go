@@ -1,0 +1,343 @@
+// Package ts implements finite-state transition systems without
+// acceptance conditions — the system model of Section 6 of Nitsche &
+// Wolper (PODC'97). A system accepts the prefix-closed regular language
+// L of its finite action sequences; its behaviors are the ω-language
+// lim(L). The package provides construction, trimming, synchronous
+// (shared-action) composition for compositional analysis, conversion to
+// finite and Büchi automata, a text format, and DOT export.
+package ts
+
+import (
+	"fmt"
+	"sort"
+
+	"relive/internal/alphabet"
+	"relive/internal/buchi"
+	"relive/internal/graph"
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// State identifies a system state.
+type State int
+
+// System is a finite-state transition system with a single initial state
+// and action-labeled transitions. It may be nondeterministic.
+type System struct {
+	ab      *alphabet.Alphabet
+	names   []string
+	index   map[string]State
+	initial State // -1 until set
+	trans   []map[alphabet.Symbol][]State
+}
+
+// New returns an empty system over ab.
+func New(ab *alphabet.Alphabet) *System {
+	return &System{ab: ab, index: map[string]State{}, initial: -1}
+}
+
+// Alphabet returns the system's action alphabet.
+func (s *System) Alphabet() *alphabet.Alphabet { return s.ab }
+
+// NumStates returns the number of states.
+func (s *System) NumStates() int { return len(s.names) }
+
+// AddState adds a state with the given (unique) name, or returns the
+// existing state of that name.
+func (s *System) AddState(name string) State {
+	if st, ok := s.index[name]; ok {
+		return st
+	}
+	st := State(len(s.names))
+	s.names = append(s.names, name)
+	s.index[name] = st
+	s.trans = append(s.trans, nil)
+	return st
+}
+
+// StateName returns the name of st.
+func (s *System) StateName(st State) string { return s.names[st] }
+
+// LookupState returns the state with the given name.
+func (s *System) LookupState(name string) (State, bool) {
+	st, ok := s.index[name]
+	return st, ok
+}
+
+// SetInitial sets the initial state.
+func (s *System) SetInitial(st State) { s.initial = st }
+
+// Initial returns the initial state, or -1 when unset.
+func (s *System) Initial() State { return s.initial }
+
+// AddTransition adds st --sym--> to. ε is not a legal action.
+func (s *System) AddTransition(st State, sym alphabet.Symbol, to State) {
+	if sym == alphabet.Epsilon {
+		panic("ts: ε is not a legal action label")
+	}
+	m := s.trans[st]
+	if m == nil {
+		m = make(map[alphabet.Symbol][]State)
+		s.trans[st] = m
+	}
+	for _, t := range m[sym] {
+		if t == to {
+			return
+		}
+	}
+	m[sym] = append(m[sym], to)
+}
+
+// AddEdge adds a transition by names, interning states and the action.
+func (s *System) AddEdge(from, action, to string) {
+	s.AddTransition(s.AddState(from), s.ab.Symbol(action), s.AddState(to))
+}
+
+// Succ returns the successors of st under sym.
+func (s *System) Succ(st State, sym alphabet.Symbol) []State { return s.trans[st][sym] }
+
+// Enabled returns the actions enabled at st, sorted.
+func (s *System) Enabled(st State) []alphabet.Symbol {
+	out := make([]alphabet.Symbol, 0, len(s.trans[st]))
+	for sym, ts := range s.trans[st] {
+		if len(ts) > 0 {
+			out = append(out, sym)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edge is a labeled transition, used by enumeration helpers.
+type Edge struct {
+	From State
+	Sym  alphabet.Symbol
+	To   State
+}
+
+// Edges returns all transitions in deterministic order.
+func (s *System) Edges() []Edge {
+	var out []Edge
+	for from := range s.trans {
+		syms := make([]alphabet.Symbol, 0, len(s.trans[from]))
+		for sym := range s.trans[from] {
+			syms = append(syms, sym)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, sym := range syms {
+			for _, to := range s.trans[from][sym] {
+				out = append(out, Edge{From: State(from), Sym: sym, To: to})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing the alphabet.
+func (s *System) Clone() *System {
+	c := New(s.ab)
+	for _, n := range s.names {
+		c.AddState(n)
+	}
+	for from, m := range s.trans {
+		for sym, ts := range m {
+			for _, to := range ts {
+				c.AddTransition(State(from), sym, to)
+			}
+		}
+	}
+	c.initial = s.initial
+	return c
+}
+
+// NFA returns the finite automaton accepting L: all finite action
+// sequences from the initial state, every state accepting. The language
+// is prefix-closed by construction.
+func (s *System) NFA() (*nfa.NFA, error) {
+	if s.initial < 0 {
+		return nil, fmt.Errorf("ts: system has no initial state")
+	}
+	a := nfa.New(s.ab)
+	for range s.names {
+		a.AddState(true)
+	}
+	for from, m := range s.trans {
+		for sym, ts := range m {
+			for _, to := range ts {
+				a.AddTransition(nfa.State(from), sym, nfa.State(to))
+			}
+		}
+	}
+	a.SetInitial(nfa.State(s.initial))
+	return a, nil
+}
+
+// Behaviors returns the Büchi automaton for the system's behavior set
+// lim(L) (Definition 6.2): states without infinite continuations are
+// trimmed and all remaining states accept.
+func (s *System) Behaviors() (*buchi.Buchi, error) {
+	a, err := s.NFA()
+	if err != nil {
+		return nil, err
+	}
+	return buchi.LimitOfAllAccepting(a.Trim())
+}
+
+// Trim removes states that are unreachable or have no infinite
+// continuation, so that every remaining finite path is a prefix of a
+// behavior. It returns an error when nothing survives.
+func (s *System) Trim() (*System, error) {
+	if s.initial < 0 {
+		return nil, fmt.Errorf("ts: system has no initial state")
+	}
+	n := s.NumStates()
+	succ := func(v int) []int {
+		var out []int
+		for _, ts := range s.trans[v] {
+			for _, t := range ts {
+				out = append(out, int(t))
+			}
+		}
+		return out
+	}
+	reach := graph.Reachable(n, []int{int(s.initial)}, succ)
+	alive := make([]bool, n)
+	copy(alive, reach)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			hasSucc := false
+			for _, t := range succ(v) {
+				if alive[t] {
+					hasSucc = true
+					break
+				}
+			}
+			if !hasSucc {
+				alive[v] = false
+				changed = true
+			}
+		}
+	}
+	if !alive[s.initial] {
+		return nil, fmt.Errorf("ts: initial state has no infinite behavior")
+	}
+	out := New(s.ab)
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			out.AddState(s.names[v])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !alive[v] {
+			continue
+		}
+		from, _ := out.LookupState(s.names[v])
+		for sym, ts := range s.trans[v] {
+			for _, to := range ts {
+				if alive[to] {
+					toSt, _ := out.LookupState(s.names[to])
+					out.AddTransition(from, sym, toSt)
+				}
+			}
+		}
+	}
+	init, _ := out.LookupState(s.names[s.initial])
+	out.SetInitial(init)
+	return out, nil
+}
+
+// AcceptsWord reports whether w is a finite action sequence of the
+// system (w ∈ L).
+func (s *System) AcceptsWord(w word.Word) bool {
+	if s.initial < 0 {
+		return false
+	}
+	cur := map[State]bool{s.initial: true}
+	for _, sym := range w {
+		next := map[State]bool{}
+		for st := range cur {
+			for _, t := range s.trans[st][sym] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return true
+}
+
+// Product returns the synchronous composition of two systems for
+// compositional analysis ([22] in the paper): actions present in both
+// alphabets synchronize, private actions interleave. The result's
+// alphabet is the union; only states reachable from the joint initial
+// state are materialized. State names are "x|y".
+func Product(a, b *System) (*System, error) {
+	if a.initial < 0 || b.initial < 0 {
+		return nil, fmt.Errorf("ts: product of systems without initial states")
+	}
+	ab := a.ab.Clone()
+	mapB := ab.Extend(b.ab)
+	sharedByName := map[alphabet.Symbol]alphabet.Symbol{} // product symbol -> b's symbol
+	for _, symB := range b.ab.Symbols() {
+		sharedByName[mapB[symB]] = symB
+	}
+	isShared := func(sym alphabet.Symbol) bool {
+		_, inB := sharedByName[sym]
+		_, inA := a.ab.Lookup(ab.Name(sym))
+		return inB && inA
+	}
+
+	out := New(ab)
+	type pair struct{ x, y State }
+	index := map[pair]State{}
+	var queue []pair
+	intern := func(p pair) State {
+		if st, ok := index[p]; ok {
+			return st
+		}
+		st := out.AddState(a.names[p.x] + "|" + b.names[p.y])
+		index[p] = st
+		queue = append(queue, p)
+		return st
+	}
+	init := intern(pair{a.initial, b.initial})
+	out.SetInitial(init)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := index[p]
+		// Moves of a: private actions of a, or shared with b able to match.
+		for symA, ts := range a.trans[p.x] {
+			sym := ab.Symbol(a.ab.Name(symA)) // same value: ab extends a's alphabet
+			if isShared(sym) {
+				symB := sharedByName[sym]
+				for _, tx := range ts {
+					for _, ty := range b.trans[p.y][symB] {
+						out.AddTransition(from, sym, intern(pair{tx, ty}))
+					}
+				}
+			} else {
+				for _, tx := range ts {
+					out.AddTransition(from, sym, intern(pair{tx, p.y}))
+				}
+			}
+		}
+		// Private moves of b.
+		for symB, ts := range b.trans[p.y] {
+			sym := mapB[symB]
+			if isShared(sym) {
+				continue // handled above
+			}
+			for _, ty := range ts {
+				out.AddTransition(from, sym, intern(pair{p.x, ty}))
+			}
+		}
+	}
+	return out, nil
+}

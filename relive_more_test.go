@@ -1,0 +1,143 @@
+package relive_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"relive"
+)
+
+func TestCheckAllReport(t *testing.T) {
+	sys, err := relive.ParseSystemString(serverText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := relive.CheckAll(sys, relive.MustParseLTL("G F result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Satisfied || !report.RelativeLiveness || report.RelativeSafety {
+		t.Errorf("verdicts: sat=%v rl=%v rs=%v", report.Satisfied, report.RelativeLiveness, report.RelativeSafety)
+	}
+	if len(report.CounterexampleLp) == 0 {
+		t.Error("missing counterexample loop")
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back relive.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RelativeLiveness != report.RelativeLiveness {
+		t.Error("JSON round-trip lost data")
+	}
+}
+
+func TestReduceSystem(t *testing.T) {
+	sys, err := relive.ParseSystemString(`
+init s0
+s0 request l
+s0 request r
+l result s0
+r result s0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := relive.ReduceSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumStates() != 2 {
+		t.Errorf("reduced to %d states, want 2", small.NumStates())
+	}
+	// Verdicts unchanged.
+	for _, f := range []string{"G F result", "G F request"} {
+		r1, err := relive.CheckRelativeLiveness(sys, relive.MustParseLTL(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := relive.CheckRelativeLiveness(small, relive.MustParseLTL(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Holds != r2.Holds {
+			t.Errorf("reduction changed verdict of %q", f)
+		}
+	}
+}
+
+func TestParseRegexFacade(t *testing.T) {
+	ab := relive.NewAlphabet()
+	a, err := relive.ParseRegex(ab, "(request (result | reject)) *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := a.IsPrefixClosed(); !ok {
+		t.Error("ParseRegex result not prefix-closed")
+	}
+	if _, err := relive.ParseRegex(ab, "("); err == nil {
+		t.Error("bad regex accepted")
+	}
+}
+
+func TestSimplifyAndEquivalent(t *testing.T) {
+	ab := relive.NewAlphabet("a", "b")
+	f := relive.MustParseLTL("F F a")
+	s := relive.SimplifyLTL(f)
+	if s.String() != "true U a" {
+		t.Errorf("SimplifyLTL(FFa) = %s", s)
+	}
+	if !relive.EquivalentLTL(f, s, ab) {
+		t.Error("simplified formula not equivalent")
+	}
+	if relive.EquivalentLTL(relive.MustParseLTL("F a"), relive.MustParseLTL("G a"), ab) {
+		t.Error("Fa and Ga reported equivalent")
+	}
+}
+
+func TestRandomWalkerFacade(t *testing.T) {
+	sys, err := relive.ParseSystemString(serverText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := relive.NewRandomWalker(sys, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Walk(25)); got != 25 {
+		t.Errorf("walk length %d", got)
+	}
+}
+
+func TestOmegaLanguageFacade(t *testing.T) {
+	ab := relive.NewAlphabet("a", "b")
+	lomega, err := relive.ParseOmegaRegex(ab, "( a | b ) * ( a ) ^w") // eventually only a
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, _, err := relive.IsLimitClosed(lomega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed {
+		t.Error("FG-a language reported limit closed")
+	}
+	p := relive.PropertyFromLTL(relive.MustParseLTL("G F a"), relive.CanonicalLabeling(ab))
+	rl, err := relive.CheckRelativeLivenessOmega(lomega, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rl.Holds {
+		t.Error("□◇a should be (trivially) relative liveness of eventually-only-a")
+	}
+	rs, err := relive.CheckRelativeSafetyOmega(lomega, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Holds {
+		t.Error("□◇a should be relative safety of eventually-only-a (all members satisfy it)")
+	}
+}
