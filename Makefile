@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test vet bench experiments examples cover clean
 
-all: build vet test
+all: build test
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
-	$(GO) test ./...
+test: vet
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,8 +8,12 @@
 //	rlabstract -sys server.ts -observe request,result,reject [-ltl "G F result"]
 //	rlabstract -sys server.ts -hom "yes=>,no=>,request=>request" -print
 //
-// Exit status: 0 on a positive conclusion (or no -ltl), 1 when the
-// property is refuted or the verdict is inconclusive, 2 on errors.
+// With -stats the abstraction pipeline's phase tree (durations,
+// automaton sizes, paper tags) is printed to standard error;
+// -trace-json writes the same spans as JSON ("-" for standard output);
+// -cpuprofile/-memprofile write pprof profiles. Exit status: 0 on a
+// positive conclusion (or no -ltl), 1 when the property is refuted or
+// the verdict is inconclusive, 2 on errors.
 package main
 
 import (
@@ -20,13 +24,14 @@ import (
 	"strings"
 
 	"relive"
+	"relive/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("rlabstract", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	sysPath := fs.String("sys", "", "transition system file (- for stdin)")
@@ -34,6 +39,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	observe := fs.String("observe", "", "comma-separated actions to keep (hides the rest)")
 	ltlText := fs.String("ltl", "", "abstract PLTL property in Σ'-normal form (optional)")
 	printAbstract := fs.Bool("print", false, "print the abstract system in text format")
+	stats := fs.Bool("stats", false, "print the phase tree (durations, automaton sizes) to stderr")
+	traceJSON := fs.String("trace-json", "", "write the span/metric trace as JSON to this file (- for stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,6 +55,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rlabstract: exactly one of -hom or -observe is required")
 		return 2
 	}
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlabstract: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rlabstract: %v\n", err)
+			code = 2
+		}
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(stderr, "rlabstract: %v\n", err)
+			code = 2
+		}
+	}()
+	var trace *relive.Trace
+	checker := relive.With()
+	if *stats || *traceJSON != "" {
+		trace = relive.NewTrace()
+		checker = relive.With(relive.WithRecorder(trace))
+	}
+	defer func() {
+		if trace == nil {
+			return
+		}
+		if *stats {
+			if err := trace.WriteTree(stderr); err != nil {
+				fmt.Fprintf(stderr, "rlabstract: %v\n", err)
+				code = 2
+			}
+		}
+		if *traceJSON != "" {
+			if err := writeTrace(trace, *traceJSON, stdout); err != nil {
+				fmt.Fprintf(stderr, "rlabstract: %v\n", err)
+				code = 2
+			}
+		}
+	}()
 	sys, err := readSystem(*sysPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlabstract: %v\n", err)
@@ -69,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *ltlText == "" {
 		// Without a property, report the abstraction and simplicity only.
 		eta := relive.MustParseLTL("true")
-		report, err := relive.VerifyViaAbstraction(sys, h, eta)
+		report, err := checker.VerifyViaAbstraction(sys, h, eta)
 		if err != nil {
 			fmt.Fprintf(stderr, "rlabstract: %v\n", err)
 			return 2
@@ -82,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rlabstract: %v\n", err)
 		return 2
 	}
-	report, err := relive.VerifyViaAbstraction(sys, h, eta)
+	report, err := checker.VerifyViaAbstraction(sys, h, eta)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlabstract: %v\n", err)
 		return 2
@@ -118,6 +165,23 @@ func printReport(w io.Writer, sys *relive.System, r *relive.AbstractionReport, p
 		fmt.Fprintln(w, "abstract system:")
 		fmt.Fprint(w, r.Abstract.FormatString())
 	}
+}
+
+// writeTrace dumps the trace as JSON to path, with "-" meaning the
+// command's standard output.
+func writeTrace(trace *relive.Trace, path string, stdout io.Writer) error {
+	if path == "-" {
+		return trace.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readSystem(path string) (*relive.System, error) {

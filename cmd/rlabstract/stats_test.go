@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relive"
+)
+
+// TestStatsShowsAbstractionPipeline: -stats must print the Corollary
+// 8.4 pipeline as a nested phase tree on standard error.
+func TestStatsShowsAbstractionPipeline(t *testing.T) {
+	path := writeSystem(t, concreteText)
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-sys", path,
+		"-observe", "request, result, reject",
+		"-ltl", "G F result",
+		"-stats",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	tree := errOut.String()
+	for _, want := range []string{
+		"core.VerifyViaAbstraction",
+		"Corollary 8.4",
+		"h(L)",
+		"simplicity of h",
+		"Definition 6.3",
+		"R̄(η)",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("-stats tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestTraceJSONFile: -trace-json must write a dump readable by the
+// public trace reader.
+func TestTraceJSONFile(t *testing.T) {
+	path := writeSystem(t, concreteText)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-sys", path,
+		"-observe", "request, result, reject",
+		"-trace-json", tracePath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dump, err := relive.ReadTraceJSON(f)
+	if err != nil {
+		t.Fatalf("trace file is not a valid dump: %v", err)
+	}
+	if len(dump.Spans) == 0 {
+		t.Fatal("trace dump has no spans")
+	}
+}
+
+// TestMalformedSystemContent: a present-but-unparsable file exits 2.
+func TestMalformedSystemContent(t *testing.T) {
+	path := writeSystem(t, "not a valid system file at all\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", path, "-observe", "a"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 (stderr %s)", code, errOut.String())
+	}
+}
+
+// TestProfileFlags: the pprof flags must produce non-empty files.
+func TestProfileFlags(t *testing.T) {
+	path := writeSystem(t, concreteText)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-sys", path,
+		"-observe", "request, result, reject",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if info, err := os.Stat(p); err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

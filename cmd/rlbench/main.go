@@ -4,56 +4,103 @@
 //
 // Usage:
 //
-//	rlbench            # run all experiments
-//	rlbench -run E5    # run one experiment
-//	rlbench -md        # emit Markdown instead of plain text
+//	rlbench                          # run all experiments
+//	rlbench -run E5                  # run one experiment
+//	rlbench -md                      # emit Markdown instead of plain text
+//	rlbench -metrics-json BENCH.json # also write per-case metrics JSON
+//
+// -metrics-json writes one record per experiment with its wall-clock
+// duration and every observation (automaton sizes included), so
+// BENCH_*.json files can track sizes and timings across PRs.
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"relive/internal/exp"
+	"relive/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// caseMetrics is one experiment in the -metrics-json output; the schema
+// is append-only so BENCH_*.json files stay comparable across PRs.
+type caseMetrics struct {
+	ID           string              `json:"id"`
+	Artifact     string              `json:"artifact"`
+	Title        string              `json:"title"`
+	DurationNS   int64               `json:"duration_ns"`
+	Passed       bool                `json:"passed"`
+	Observations []observationMetric `json:"observations"`
+}
+
+type observationMetric struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+	Claim string `json:"claim,omitempty"`
+	Match bool   `json:"match"`
+}
+
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("rlbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("run", "", "run a single experiment by id (e.g. E5)")
 	markdown := fs.Bool("md", false, "emit Markdown tables")
+	metricsJSON := fs.String("metrics-json", "", "write per-case metrics (durations, sizes) as JSON to this file (- for stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlbench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rlbench: %v\n", err)
+			code = 2
+		}
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(stderr, "rlbench: %v\n", err)
+			code = 2
+		}
+	}()
 
 	var results []exp.Result
-	if *only != "" {
-		found := false
-		for _, e := range exp.All() {
-			if e.ID == *only {
-				found = true
-				r, err := e.Run()
-				if err != nil {
-					fmt.Fprintf(stderr, "rlbench: %s: %v\n", e.ID, err)
-					return 2
-				}
-				results = append(results, r)
-			}
+	var metrics []caseMetrics
+	found := false
+	for _, e := range exp.All() {
+		if *only != "" && e.ID != *only {
+			continue
 		}
-		if !found {
-			fmt.Fprintf(stderr, "rlbench: unknown experiment %q\n", *only)
+		found = true
+		start := time.Now()
+		r, err := e.Run()
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlbench: %s: %v\n", e.ID, err)
 			return 2
 		}
-	} else {
-		var err error
-		results, err = exp.RunAll()
-		if err != nil {
+		results = append(results, r)
+		metrics = append(metrics, toMetrics(r, elapsed))
+	}
+	if !found {
+		fmt.Fprintf(stderr, "rlbench: unknown experiment %q\n", *only)
+		return 2
+	}
+	if *metricsJSON != "" {
+		if err := writeMetrics(metrics, *metricsJSON, stdout); err != nil {
 			fmt.Fprintf(stderr, "rlbench: %v\n", err)
 			return 2
 		}
@@ -74,6 +121,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "RESULT: all %d experiments match the paper\n", len(results))
 	return 0
+}
+
+func toMetrics(r exp.Result, elapsed time.Duration) caseMetrics {
+	m := caseMetrics{
+		ID:         r.ID,
+		Artifact:   r.Artifact,
+		Title:      r.Title,
+		DurationNS: elapsed.Nanoseconds(),
+		Passed:     r.Passed(),
+	}
+	for _, o := range r.Observations {
+		m.Observations = append(m.Observations, observationMetric{
+			Name: o.Name, Value: o.Value, Claim: o.Claim, Match: o.Match,
+		})
+	}
+	return m
+}
+
+// writeMetrics writes the per-case metrics as indented JSON to path,
+// with "-" meaning the command's standard output.
+func writeMetrics(metrics []caseMetrics, path string, stdout io.Writer) error {
+	w := stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(metrics); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return err
+	}
+	if f != nil {
+		return f.Close()
+	}
+	return nil
 }
 
 func printMarkdown(w io.Writer, r exp.Result) {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMetricsJSONFile: -metrics-json must write one record per
+// experiment with a positive duration and the observations mirrored.
+func TestMetricsJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "E2", "-metrics-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []caseMetrics
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(metrics) != 1 {
+		t.Fatalf("got %d records, want 1", len(metrics))
+	}
+	m := metrics[0]
+	if m.ID != "E2" {
+		t.Errorf("ID = %q, want E2", m.ID)
+	}
+	if m.DurationNS <= 0 {
+		t.Errorf("DurationNS = %d, want > 0", m.DurationNS)
+	}
+	if !m.Passed {
+		t.Error("E2 should pass")
+	}
+	if len(m.Observations) == 0 {
+		t.Error("no observations recorded")
+	}
+}
+
+// TestMetricsJSONStdout: "-" streams the metrics to standard output
+// before the report.
+func TestMetricsJSONStdout(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "E2", "-metrics-json", "-"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	got := out.String()
+	end := strings.Index(got, "\n]")
+	if end < 0 {
+		t.Fatalf("no JSON array on stdout:\n%s", got)
+	}
+	var metrics []caseMetrics
+	if err := json.Unmarshal([]byte(got[:end+2]), &metrics); err != nil {
+		t.Fatalf("stdout prefix is not valid JSON: %v", err)
+	}
+	if !strings.Contains(got[end:], "all 1 experiments match") {
+		t.Errorf("report missing after JSON:\n%s", got)
+	}
+}
+
+// TestMetricsJSONBadPath: an unwritable path must exit 2.
+func TestMetricsJSONBadPath(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "E2", "-metrics-json", filepath.Join(t.TempDir(), "no/such/dir/bench.json")}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

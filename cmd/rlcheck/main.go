@@ -4,9 +4,15 @@
 // Usage:
 //
 //	rlcheck -sys server.ts -ltl "G F result" [-check rl|rs|sat|all]
+//	rlcheck -sys server.ts -ltl "G F result" -stats
+//	rlcheck -sys server.ts -ltl "G F result" -trace-json trace.json
 //
 // The system file uses the line format "init <state>" plus
-// "<from> <action> <to>" lines ("-" reads standard input). Exit status:
+// "<from> <action> <to>" lines ("-" reads standard input). With -stats
+// a nested phase tree (per-phase durations and automaton sizes, tagged
+// with the paper's lemmas) is printed to standard error; -trace-json
+// writes the same spans and metrics as JSON ("-" for standard output).
+// -cpuprofile and -memprofile write pprof profiles. Exit status:
 // 0 when every requested check holds, 1 when one fails, 2 on errors.
 package main
 
@@ -18,13 +24,14 @@ import (
 	"os"
 
 	"relive"
+	"relive/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("rlcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	sysPath := fs.String("sys", "", "transition system file (- for stdin)")
@@ -33,6 +40,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	check := fs.String("check", "all", "which check to run: rl, rs, sat, or all")
 	quiet := fs.Bool("q", false, "only set the exit status, print nothing")
 	jsonOut := fs.Bool("json", false, "emit all three verdicts as JSON")
+	stats := fs.Bool("stats", false, "print the phase tree (durations, automaton sizes) to stderr")
+	traceJSON := fs.String("trace-json", "", "write the span/metric trace as JSON to this file (- for stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,13 +52,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			code = 2
+		}
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			code = 2
+		}
+	}()
+
+	var trace *relive.Trace
+	checker := relive.With()
+	if *stats || *traceJSON != "" {
+		trace = relive.NewTrace()
+		checker = relive.With(relive.WithRecorder(trace))
+	}
+	defer func() {
+		if trace == nil {
+			return
+		}
+		if *stats {
+			if err := trace.WriteTree(stderr); err != nil {
+				fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+				code = 2
+			}
+		}
+		if *traceJSON != "" {
+			if err := writeTrace(trace, *traceJSON, stdout); err != nil {
+				fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+				code = 2
+			}
+		}
+	}()
+
 	sys, err := readSystem(*sysPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
 		return 2
 	}
 	var property relive.Property
-	var propName string
 	if *ltlText != "" {
 		f, err := relive.ParseLTL(*ltlText)
 		if err != nil {
@@ -55,7 +105,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		property = relive.PropertyFromLTL(f, nil)
-		propName = f.String()
 	} else {
 		b, err := relive.ParseOmegaRegex(sys.Alphabet(), *omegaText)
 		if err != nil {
@@ -63,11 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		property = relive.PropertyFromBuchi(b)
-		propName = *omegaText
 	}
-	_ = propName // witnesses already name the actions; the label is for future use
 	if *jsonOut {
-		report, err := relive.CheckAllProperty(sys, property)
+		report, err := checker.CheckAllProperty(sys, property)
 		if err != nil {
 			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
 			return 2
@@ -111,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if runRL {
-		res, err := relive.CheckRelativeLivenessProperty(sys, property)
+		res, err := checker.CheckRelativeLivenessProperty(sys, property)
 		if err != nil {
 			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
 			return 2
@@ -120,7 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.BadPrefix.String(sys.Alphabet()))
 	}
 	if runRS {
-		res, err := relive.CheckRelativeSafetyProperty(sys, property)
+		res, err := checker.CheckRelativeSafetyProperty(sys, property)
 		if err != nil {
 			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
 			return 2
@@ -132,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report("relative safety", verdict(res.Holds), res.Holds, witness)
 	}
 	if runSat {
-		res, err := relive.CheckSatisfiesProperty(sys, property)
+		res, err := checker.CheckSatisfiesProperty(sys, property)
 		if err != nil {
 			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
 			return 2
@@ -147,6 +194,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	return 1
+}
+
+// writeTrace dumps the trace as JSON to path, with "-" meaning the
+// command's standard output.
+func writeTrace(trace *relive.Trace, path string, stdout io.Writer) error {
+	if path == "-" {
+		return trace.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readSystem(path string) (*relive.System, error) {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"relive"
+)
+
+// TestStatsPhaseTree is the golden test for -stats: the phase tree on
+// the quickstart server system must show the nested spans for the
+// paper's decision procedures, tagged with Lemma 4.3 and Lemma 4.4,
+// with durations and automaton sizes.
+func TestStatsPhaseTree(t *testing.T) {
+	path := writeSystem(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-ltl", "G F result", "-stats"}, &out, &errOut)
+	if code != 1 { // satisfaction fails on the server example
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	tree := errOut.String()
+	for _, want := range []string{
+		"core.RelativeLiveness",
+		"core.RelativeSafety",
+		"core.Satisfies",
+		"pre(L∩P)",
+		"Lemma 4.3: pre(L) = pre(L∩P)",
+		"Lemma 4.4: L ∩ lim(pre(L∩P)) ⊆ P",
+		"buchi.Intersect",
+		"out_states=",
+		"└─", // nested tree rendering
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("-stats tree missing %q:\n%s", want, tree)
+		}
+	}
+	// Closed span lines carry a duration suffix (e.g. "28µs").
+	if !regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s)`).MatchString(tree) {
+		t.Errorf("-stats tree has no durations:\n%s", tree)
+	}
+	if !strings.Contains(tree, "counters:") {
+		t.Errorf("-stats tree missing counters section:\n%s", tree)
+	}
+	// -stats must not contaminate stdout (verdicts only).
+	if strings.Contains(out.String(), "core.RelativeLiveness") {
+		t.Errorf("phase tree leaked to stdout:\n%s", out.String())
+	}
+}
+
+// TestTraceJSONOutput: -trace-json must emit a dump that round-trips
+// through the public reader, both to a file and to stdout via "-".
+func TestTraceJSONOutput(t *testing.T) {
+	path := writeSystem(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-ltl", "G F result", "-check", "rl", "-trace-json", tracePath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dump, err := relive.ReadTraceJSON(f)
+	if err != nil {
+		t.Fatalf("trace file is not a valid dump: %v", err)
+	}
+	if len(dump.Spans) == 0 {
+		t.Fatal("trace dump has no spans")
+	}
+	found := false
+	for _, s := range dump.Spans {
+		if s.Name == "core.RelativeLiveness" {
+			found = true
+			if s.DurationNS < 0 {
+				t.Error("core.RelativeLiveness span never closed")
+			}
+		}
+	}
+	if !found {
+		t.Error("dump missing core.RelativeLiveness span")
+	}
+
+	// "-" writes the same JSON to stdout, after the verdict lines.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-sys", path, "-ltl", "G F result", "-check", "rl", "-q", "-trace-json", "-"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut.String())
+	}
+	if _, err := relive.ReadTraceJSON(strings.NewReader(out.String())); err != nil {
+		t.Fatalf("-trace-json - did not emit a valid dump: %v\n%s", err, out.String())
+	}
+}
+
+// TestProfileFlags: -cpuprofile/-memprofile must write non-empty pprof
+// files and a bad profile path must exit 2.
+func TestProfileFlags(t *testing.T) {
+	path := writeSystem(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-ltl", "G F result", "-check", "rl",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if code := run([]string{"-sys", path, "-ltl", "G F result",
+		"-cpuprofile", filepath.Join(dir, "no/such/dir/cpu.pprof")}, &out, &errOut); code != 2 {
+		t.Errorf("bad -cpuprofile path: exit = %d, want 2", code)
+	}
+}
+
+// TestMalformedSystemContent: a file that exists but does not parse
+// must exit 2, not crash or report a verdict.
+func TestMalformedSystemContent(t *testing.T) {
+	for _, text := range []string{
+		"this is not a transition system\n",
+		"init\n",               // init without a state
+		"init s0\ns0 a\n",      // transition missing target
+		"s0 a s1\n",            // no init line
+		"init s0\ns0 a s1 s2\n", // too many fields
+	} {
+		path := filepath.Join(t.TempDir(), "bad.ts")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := run([]string{"-sys", path, "-ltl", "G F a"}, &out, &errOut); code != 2 {
+			t.Errorf("malformed input %q: exit = %d, want 2 (stderr: %s)", text, code, errOut.String())
+		}
+	}
+}

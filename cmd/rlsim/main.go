@@ -19,13 +19,14 @@ import (
 
 	"relive"
 	"relive/internal/fairness"
+	"relive/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("rlsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	sysPath := fs.String("sys", "", "transition system file (- for stdin)")
@@ -34,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random scheduler seed")
 	ltlText := fs.String("ltl", "", "property to estimate P(satisfied) for (implies -sched random)")
 	runs := fs.Int("runs", 200, "number of sampled executions with -ltl")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,6 +45,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlsim: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rlsim: %v\n", err)
+			code = 2
+		}
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(stderr, "rlsim: %v\n", err)
+			code = 2
+		}
+	}()
 	sys, err := readSystem(*sysPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlsim: %v\n", err)

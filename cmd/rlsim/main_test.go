@@ -80,3 +80,35 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestMalformedSystemContent: a present-but-unparsable file exits 2.
+func TestMalformedSystemContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ts")
+	if err := os.WriteFile(path, []byte("garbage that is not a system\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-sys", path}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 (stderr %s)", code, errOut.String())
+	}
+}
+
+// TestProfileFlags: the pprof flags must produce non-empty files.
+func TestProfileFlags(t *testing.T) {
+	path := writeSystem(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run([]string{"-sys", path, "-steps", "10", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if info, err := os.Stat(p); err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

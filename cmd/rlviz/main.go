@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"relive"
+	"relive/internal/obs"
 	"relive/internal/paper"
 )
 
@@ -25,15 +26,32 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("rlviz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	sysPath := fs.String("sys", "", "transition system file (- for stdin)")
 	fig := fs.Int("fig", 0, "render the paper's figure 1-4 instead of a file")
 	name := fs.String("name", "system", "graph name")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlviz: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "rlviz: %v\n", err)
+			code = 2
+		}
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(stderr, "rlviz: %v\n", err)
+			code = 2
+		}
+	}()
 	switch {
 	case *fig != 0 && *sysPath != "":
 		fmt.Fprintln(stderr, "rlviz: -sys and -fig are mutually exclusive")

@@ -41,6 +41,29 @@ func (b *Buchi) Alphabet() *alphabet.Alphabet { return b.ab }
 // NumStates returns the number of states.
 func (b *Buchi) NumStates() int { return len(b.accepting) }
 
+// NumTransitions returns the total number of transitions, so gauges and
+// users need not walk the transition maps by hand.
+func (b *Buchi) NumTransitions() int {
+	n := 0
+	for _, m := range b.trans {
+		for _, ts := range m {
+			n += len(ts)
+		}
+	}
+	return n
+}
+
+// NumAccepting returns the number of accepting states.
+func (b *Buchi) NumAccepting() int {
+	n := 0
+	for _, acc := range b.accepting {
+		if acc {
+			n++
+		}
+	}
+	return n
+}
+
 // AddState adds a fresh state.
 func (b *Buchi) AddState(accepting bool) State {
 	s := State(len(b.accepting))

@@ -1,0 +1,207 @@
+package buchi
+
+import (
+	"relive/internal/nfa"
+	"relive/internal/obs"
+	"relive/internal/word"
+)
+
+// Ops bundles the package's automaton operations with an observability
+// recorder. Every method with a nil Rec is exactly the plain function —
+// one nil check, no allocation, no size walks — so callers thread an
+// Ops value unconditionally and pay only when a recorder is attached.
+//
+// Each instrumented operation records one span named
+// "buchi.<Operation>" carrying input/output state and transition counts
+// plus its duration, and bumps the counters
+// "buchi.<operation>.calls" and "buchi.states_built" (cumulative output
+// states — the blowup measure for the PSPACE-dominated pipeline).
+type Ops struct {
+	Rec obs.Recorder
+}
+
+// finish attaches output sizes, accumulates blowup counters, and ends
+// the span.
+func (o Ops) finish(sp obs.Span, counter string, out *Buchi) {
+	sp.Int("out_states", int64(out.NumStates()))
+	sp.Int("out_transitions", int64(out.NumTransitions()))
+	obs.Count(o.Rec, counter+".calls", 1)
+	obs.Count(o.Rec, "buchi.states_built", int64(out.NumStates()))
+	sp.End()
+}
+
+// Intersect is Intersect with instrumentation.
+func (o Ops) Intersect(a, c *Buchi) *Buchi {
+	if o.Rec == nil {
+		return Intersect(a, c)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.Intersect").
+		Int("left_states", int64(a.NumStates())).
+		Int("right_states", int64(c.NumStates()))
+	out := Intersect(a, c)
+	o.finish(sp, "buchi.intersect", out)
+	return out
+}
+
+// Union is Union with instrumentation.
+func (o Ops) Union(a, c *Buchi) *Buchi {
+	if o.Rec == nil {
+		return Union(a, c)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.Union").
+		Int("left_states", int64(a.NumStates())).
+		Int("right_states", int64(c.NumStates()))
+	out := Union(a, c)
+	o.finish(sp, "buchi.union", out)
+	return out
+}
+
+// Reduce is (*Buchi).Reduce with instrumentation.
+func (o Ops) Reduce(b *Buchi) *Buchi {
+	if o.Rec == nil {
+		return b.Reduce()
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.Reduce").
+		Int("in_states", int64(b.NumStates())).
+		Int("in_transitions", int64(b.NumTransitions()))
+	out := b.Reduce()
+	o.finish(sp, "buchi.reduce", out)
+	return out
+}
+
+// Complement is (*Buchi).Complement (rank-based) with instrumentation.
+func (o Ops) Complement(b *Buchi) (*Buchi, error) {
+	if o.Rec == nil {
+		return b.Complement()
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.Complement").
+		Tag("algorithm", "rank-based").
+		Int("in_states", int64(b.NumStates()))
+	out, err := b.Complement()
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	o.finish(sp, "buchi.complement", out)
+	return out, nil
+}
+
+// ComplementAuto is (*Buchi).ComplementAuto with instrumentation: the
+// deterministic construction when it applies, rank-based otherwise.
+func (o Ops) ComplementAuto(b *Buchi) (*Buchi, error) {
+	if o.Rec == nil {
+		return b.ComplementAuto()
+	}
+	algorithm := "rank-based"
+	if b.IsDeterministic() {
+		algorithm = "deterministic"
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.ComplementAuto").
+		Tag("algorithm", algorithm).
+		Int("in_states", int64(b.NumStates()))
+	out, err := b.ComplementAuto()
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	o.finish(sp, "buchi.complement", out)
+	return out, nil
+}
+
+// PrefixNFA is (*Buchi).PrefixNFA with instrumentation: the pre(L_ω)
+// construction (reduce, then accept every finite path).
+func (o Ops) PrefixNFA(b *Buchi) *nfa.NFA {
+	if o.Rec == nil {
+		return b.PrefixNFA()
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.PrefixNFA").
+		Int("in_states", int64(b.NumStates()))
+	out := o.Reduce(b).ToNFA().MarkAllAccepting()
+	sp.Int("out_states", int64(out.NumStates()))
+	sp.Int("out_transitions", int64(out.NumTransitions()))
+	obs.Count(o.Rec, "buchi.prefixnfa.calls", 1)
+	sp.End()
+	return out
+}
+
+// LimitOfPrefixClosed is LimitOfPrefixClosed with instrumentation,
+// including the prefix-closure validation cost.
+func (o Ops) LimitOfPrefixClosed(a *nfa.NFA) (*Buchi, error) {
+	if o.Rec == nil {
+		return LimitOfPrefixClosed(a)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.LimitOfPrefixClosed").
+		Int("in_states", int64(a.NumStates())).
+		Int("in_transitions", int64(a.NumTransitions()))
+	out, err := LimitOfPrefixClosed(a)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	o.finish(sp, "buchi.limit", out)
+	return out, nil
+}
+
+// LimitOfAllAccepting is LimitOfAllAccepting with instrumentation.
+func (o Ops) LimitOfAllAccepting(a *nfa.NFA) (*Buchi, error) {
+	if o.Rec == nil {
+		return LimitOfAllAccepting(a)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.LimitOfAllAccepting").
+		Int("in_states", int64(a.NumStates())).
+		Int("in_transitions", int64(a.NumTransitions()))
+	out, err := LimitOfAllAccepting(a)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	o.finish(sp, "buchi.limit", out)
+	return out, nil
+}
+
+// AcceptingLasso is (*Buchi).AcceptingLasso with instrumentation: the
+// emptiness check with witness extraction.
+func (o Ops) AcceptingLasso(b *Buchi) (word.Lasso, bool) {
+	if o.Rec == nil {
+		return b.AcceptingLasso()
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.AcceptingLasso").
+		Int("in_states", int64(b.NumStates())).
+		Int("in_transitions", int64(b.NumTransitions()))
+	l, ok := b.AcceptingLasso()
+	empty := int64(1)
+	if ok {
+		empty = 0
+	}
+	sp.Int("empty", empty)
+	obs.Count(o.Rec, "buchi.emptiness.calls", 1)
+	sp.End()
+	return l, ok
+}
+
+// IsEmpty is (*Buchi).IsEmpty with instrumentation.
+func (o Ops) IsEmpty(b *Buchi) bool {
+	_, ok := o.AcceptingLasso(b)
+	return !ok
+}
+
+// Included is Included with instrumentation; the dominant cost is the
+// complementation of c, which appears as a child span.
+func (o Ops) Included(a, c *Buchi) (bool, word.Lasso, error) {
+	if o.Rec == nil {
+		return Included(a, c)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.Included").
+		Int("left_states", int64(a.NumStates())).
+		Int("right_states", int64(c.NumStates()))
+	defer sp.End()
+	comp, err := o.Complement(c)
+	if err != nil {
+		return false, word.Lasso{}, err
+	}
+	l, ok := o.AcceptingLasso(o.Intersect(a, comp))
+	if ok {
+		return false, l, nil
+	}
+	return true, word.Lasso{}, nil
+}

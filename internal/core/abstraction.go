@@ -6,6 +6,7 @@ import (
 	"relive/internal/hom"
 	"relive/internal/ltl"
 	"relive/internal/nfa"
+	"relive/internal/obs"
 	"relive/internal/ts"
 	"relive/internal/word"
 )
@@ -76,6 +77,17 @@ type AbstractionReport struct {
 // is simple on L, and combine the answers per Corollary 8.4. η must be
 // in Σ'-normal form (atoms are abstract action names).
 func VerifyViaAbstraction(sys *ts.System, h *hom.Hom, eta *ltl.Formula) (*AbstractionReport, error) {
+	return VerifyViaAbstractionRec(nil, sys, h, eta)
+}
+
+// VerifyViaAbstractionRec is VerifyViaAbstraction with every pipeline
+// step reported to rec: the h(L) image, the {#}*-extension, the
+// abstract-system construction, the abstract relative-liveness check,
+// the simplicity decision, and the R̄(η) transformation.
+func VerifyViaAbstractionRec(rec obs.Recorder, sys *ts.System, h *hom.Hom, eta *ltl.Formula) (*AbstractionReport, error) {
+	sp := obs.StartSpan(rec, "core.VerifyViaAbstraction").
+		Tag("paper", "Corollary 8.4")
+	defer sp.End()
 	letters := map[string]bool{}
 	for _, name := range h.Dest().Names() {
 		letters[name] = true
@@ -98,22 +110,34 @@ func VerifyViaAbstraction(sys *ts.System, h *hom.Hom, eta *ltl.Formula) (*Abstra
 	// Maximal words in h(L) would make behaviors of the abstract system
 	// lose information (a maximal w has no ω-continuation); extend them
 	// with {#}* per [20] so they stay visible as w·#^ω.
+	asp := obs.StartSpan(rec, "h(L)").
+		Tag("paper", "Definition 6.1: abstracting homomorphism").
+		Int("concrete_states", int64(concNFA.NumStates()))
 	hasMax, maxW := h.HasMaximalWords(concNFA)
 	abstractNFA := h.ImageNFA(concNFA)
 	if hasMax {
 		report.ExtendedMaximal = true
 		report.MaximalWitness = maxW
+		esp := obs.StartSpan(rec, "{#}*-extension").
+			Tag("paper", "[20]: maximal words stay visible as w·#^ω")
 		abstractNFA = h.ExtendMaximalWords(concNFA)
+		esp.End()
 	}
+	asp.Int("image_states", int64(abstractNFA.NumStates()))
+	asp.End()
+	ssp := obs.StartSpan(rec, "abstract system lim(h(L))")
 	abstractSys, err := systemFromPrefixClosed(abstractNFA)
 	if err != nil {
+		ssp.End()
 		return nil, fmt.Errorf("abstraction: %w", err)
 	}
+	ssp.Int("out_states", int64(abstractSys.NumStates()))
+	ssp.End()
 	report.Abstract = abstractSys
 
 	// Relative liveness of η on the abstract behaviors, under the
 	// canonical Σ'-labeling.
-	rl, err := RelativeLiveness(abstractSys, FromFormula(eta, ltl.Canonical(abstractSys.Alphabet())))
+	rl, err := RelativeLivenessRec(rec, abstractSys, FromFormula(eta, ltl.Canonical(abstractSys.Alphabet())))
 	if err != nil {
 		return nil, fmt.Errorf("abstraction: abstract check: %w", err)
 	}
@@ -121,7 +145,11 @@ func VerifyViaAbstraction(sys *ts.System, h *hom.Hom, eta *ltl.Formula) (*Abstra
 	report.AbstractBadPrefix = rl.BadPrefix
 
 	// Simplicity of h on L (Definition 6.3).
+	simsp := obs.StartSpan(rec, "simplicity of h").
+		Tag("paper", "Definition 6.3")
 	simple, err := h.IsSimple(concNFA)
+	simsp.Int("simple", boolInt(err == nil && simple.Simple))
+	simsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("abstraction: simplicity: %w", err)
 	}
@@ -129,7 +157,10 @@ func VerifyViaAbstraction(sys *ts.System, h *hom.Hom, eta *ltl.Formula) (*Abstra
 	report.SimplicityWitness = simple.Witness
 
 	// R̄(η), interpreted on the concrete system under λ_{hΣΣ'}.
+	rsp := obs.StartSpan(rec, "R̄(η)").
+		Tag("paper", "Definition 7.4 / Figure 5")
 	rbar, err := ltl.Rbar(eta)
+	rsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("abstraction: %w", err)
 	}

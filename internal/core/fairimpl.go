@@ -7,6 +7,7 @@ import (
 	"relive/internal/fairness"
 	"relive/internal/graph"
 	"relive/internal/nfa"
+	"relive/internal/obs"
 	"relive/internal/ts"
 	"relive/internal/word"
 )
@@ -34,7 +35,17 @@ type FairImplementation struct {
 // The function verifies the relative-liveness precondition and fails if
 // it does not hold (Theorem 5.1 gives no guarantee then).
 func SynthesizeFairImplementation(sys *ts.System, p Property) (*FairImplementation, error) {
-	rl, err := RelativeLiveness(sys, p)
+	return SynthesizeFairImplementationRec(nil, sys, p)
+}
+
+// SynthesizeFairImplementationRec is SynthesizeFairImplementation with
+// the precondition check, the reduced-product construction, and the
+// implementation build reported to rec.
+func SynthesizeFairImplementationRec(rec obs.Recorder, sys *ts.System, p Property) (*FairImplementation, error) {
+	sp := obs.StartSpan(rec, "core.SynthesizeFairImplementation").
+		Tag("paper", "Theorem 5.1")
+	defer sp.End()
+	rl, err := RelativeLivenessRec(rec, sys, p)
 	if err != nil {
 		return nil, fmt.Errorf("fair implementation: %w", err)
 	}
@@ -43,19 +54,23 @@ func SynthesizeFairImplementation(sys *ts.System, p Property) (*FairImplementati
 			"fair implementation: %s is not a relative liveness property (bad prefix %s)",
 			p, rl.BadPrefix.String(sys.Alphabet()))
 	}
-	trimmed, err := sys.Trim()
+	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
 	if err != nil {
 		return nil, fmt.Errorf("fair implementation: %w", err)
 	}
-	behaviors, err := trimmed.Behaviors()
+	if trimmed == nil {
+		return nil, fmt.Errorf("fair implementation: system has no infinite behavior")
+	}
+	pa, err := p.AutomatonRec(rec, sys.Alphabet())
 	if err != nil {
 		return nil, fmt.Errorf("fair implementation: %w", err)
 	}
-	pa, err := p.Automaton(sys.Alphabet())
-	if err != nil {
-		return nil, fmt.Errorf("fair implementation: %w", err)
-	}
-	reduced := buchi.Intersect(behaviors, pa).Reduce()
+	ops := buchi.Ops{Rec: rec}
+	rsp := obs.StartSpan(rec, "reduce(L∩P)").
+		Tag("paper", "Theorem 5.1: reduced Büchi automaton for L∩P")
+	reduced := ops.Reduce(ops.Intersect(behaviors, pa))
+	rsp.Int("out_states", int64(reduced.NumStates()))
+	rsp.End()
 	if len(reduced.Initial()) == 0 {
 		return nil, fmt.Errorf("fair implementation: reduced product is empty")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"relive/internal/buchi"
 	"relive/internal/nfa"
+	"relive/internal/obs"
 	"relive/internal/ts"
 	"relive/internal/word"
 )
@@ -20,7 +21,23 @@ type MachineClosureResult struct {
 // structure (Definition 4.6): pre(L_ω) ⊆ pre(Λ). Both languages are
 // given as Büchi automata; Λ ⊆ L_ω is the caller's obligation.
 func MachineClosed(lomega, lambda *buchi.Buchi) (MachineClosureResult, error) {
-	ok, w := nfa.Included(lomega.PrefixNFA(), lambda.PrefixNFA())
+	return MachineClosedRec(nil, lomega, lambda)
+}
+
+// MachineClosedRec is MachineClosed with the two prefix constructions
+// and the inclusion check reported to rec.
+func MachineClosedRec(rec obs.Recorder, lomega, lambda *buchi.Buchi) (MachineClosureResult, error) {
+	sp := obs.StartSpan(rec, "core.MachineClosed").
+		Tag("paper", "Definition 4.6: pre(L_ω) ⊆ pre(Λ)")
+	defer sp.End()
+	ops := buchi.Ops{Rec: rec}
+	preL := ops.PrefixNFA(lomega)
+	preLambda := ops.PrefixNFA(lambda)
+	isp := obs.StartSpan(rec, "pre(L_ω) ⊆ pre(Λ)").
+		Int("left_states", int64(preL.NumStates())).
+		Int("right_states", int64(preLambda.NumStates()))
+	ok, w := nfa.Included(preL, preLambda)
+	isp.End()
 	if ok {
 		return MachineClosureResult{Holds: true}, nil
 	}

@@ -12,6 +12,7 @@ import (
 	"relive/internal/alphabet"
 	"relive/internal/buchi"
 	"relive/internal/ltl"
+	"relive/internal/obs"
 )
 
 // Property is an ω-regular property P ⊆ Σ^ω, given either as a PLTL
@@ -70,15 +71,54 @@ func (p Property) Automaton(ab *alphabet.Alphabet) (*buchi.Buchi, error) {
 
 // NegationAutomaton returns a Büchi automaton for Σ^ω \ P over ab.
 func (p Property) NegationAutomaton(ab *alphabet.Alphabet) (*buchi.Buchi, error) {
+	return p.NegationAutomatonRec(nil, ab)
+}
+
+// AutomatonRec is Automaton with the construction reported to rec: one
+// span named "P→Büchi" with the output size, tagged with the source
+// (formula translation vs. given automaton).
+func (p Property) AutomatonRec(rec obs.Recorder, ab *alphabet.Alphabet) (*buchi.Buchi, error) {
+	if rec == nil {
+		return p.Automaton(ab)
+	}
+	sp := obs.StartSpan(rec, "P→Büchi")
+	defer sp.End()
+	if p.formula != nil {
+		sp.Tag("source", "ltl.TranslateBuchi")
+	} else {
+		sp.Tag("source", "automaton")
+	}
+	out, err := p.Automaton(ab)
+	if err != nil {
+		return nil, err
+	}
+	sp.Int("out_states", int64(out.NumStates()))
+	sp.Int("out_transitions", int64(out.NumTransitions()))
+	return out, nil
+}
+
+// NegationAutomatonRec is NegationAutomaton with the construction
+// reported to rec: a "¬P" span covering either the syntactic negation
+// translation or the rank-based complement (which appears as a child
+// span with its own blowup figures).
+func (p Property) NegationAutomatonRec(rec obs.Recorder, ab *alphabet.Alphabet) (*buchi.Buchi, error) {
 	switch {
 	case p.automaton != nil:
-		c, err := p.automaton.Complement()
+		sp := obs.StartSpan(rec, "¬P")
+		defer sp.End()
+		c, err := buchi.Ops{Rec: rec}.Complement(p.automaton)
 		if err != nil {
 			return nil, fmt.Errorf("core: complementing property automaton: %w", err)
 		}
+		sp.Int("out_states", int64(c.NumStates()))
 		return c, nil
 	case p.formula != nil:
-		return ltl.TranslateNegation(p.formula, p.labelingFor(ab)), nil
+		sp := obs.StartSpan(rec, "¬P").Tag("source", "ltl.TranslateNegation")
+		defer sp.End()
+		out := ltl.TranslateNegation(p.formula, p.labelingFor(ab))
+		sp.Int("out_states", int64(out.NumStates()))
+		sp.Int("out_transitions", int64(out.NumTransitions()))
+		return out, nil
 	}
 	return nil, fmt.Errorf("core: empty property")
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"relive/internal/obs"
 	"relive/internal/ts"
 )
 
@@ -29,15 +30,24 @@ type Report struct {
 // cross-checks Theorem 4.7 (satisfied ⟺ RL ∧ RS) as an internal
 // consistency assertion.
 func CheckAll(sys *ts.System, p Property) (*Report, error) {
-	sat, err := Satisfies(sys, p)
+	return CheckAllRec(nil, sys, p)
+}
+
+// CheckAllRec is CheckAll with all three decision procedures reported
+// to rec under one "core.CheckAll" root span.
+func CheckAllRec(rec obs.Recorder, sys *ts.System, p Property) (*Report, error) {
+	sp := obs.StartSpan(rec, "core.CheckAll").
+		Tag("paper", "Section 4 (cross-checked via Theorem 4.7)")
+	defer sp.End()
+	sat, err := SatisfiesRec(rec, sys, p)
 	if err != nil {
 		return nil, err
 	}
-	rl, err := RelativeLiveness(sys, p)
+	rl, err := RelativeLivenessRec(rec, sys, p)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := RelativeSafety(sys, p)
+	rs, err := RelativeSafetyRec(rec, sys, p)
 	if err != nil {
 		return nil, err
 	}
@@ -76,4 +86,12 @@ func CheckAll(sys *ts.System, p Property) (*Report, error) {
 		}
 	}
 	return r, nil
+}
+
+// boolInt renders a verdict as a span attribute value.
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -6,6 +6,7 @@ import (
 
 	"relive/internal/buchi"
 	"relive/internal/nfa"
+	"relive/internal/obs"
 	"relive/internal/ts"
 	"relive/internal/word"
 )
@@ -31,17 +32,27 @@ type LivenessResult struct {
 // pre(L_ω ∩ P) ⊆ pre(L_ω) always holds, so only the converse is
 // checked, and a failure yields the BadPrefix witness.
 func RelativeLiveness(sys *ts.System, p Property) (LivenessResult, error) {
-	trimmed, err := sys.Trim()
+	return RelativeLivenessRec(nil, sys, p)
+}
+
+// RelativeLivenessRec is RelativeLiveness with every phase reported to
+// rec: the behavior construction, the property translation, the
+// pre(L∩P) product, and the Lemma 4.3 inclusion check, each with
+// automaton sizes and durations. A nil rec is the uninstrumented path.
+func RelativeLivenessRec(rec obs.Recorder, sys *ts.System, p Property) (LivenessResult, error) {
+	sp := obs.StartSpan(rec, "core.RelativeLiveness").
+		Tag("paper", "Definition 4.1 via Lemma 4.3")
+	defer sp.End()
+	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
 	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
+	}
+	if trimmed == nil {
 		// No infinite behavior at all: pre(L_ω) = ∅ and the condition of
 		// Definition 4.1 is vacuously true.
 		return LivenessResult{Holds: true}, nil
 	}
-	behaviors, err := trimmed.Behaviors()
-	if err != nil {
-		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
-	}
-	pa, err := p.Automaton(sys.Alphabet())
+	pa, err := p.AutomatonRec(rec, sys.Alphabet())
 	if err != nil {
 		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
 	}
@@ -49,12 +60,46 @@ func RelativeLiveness(sys *ts.System, p Property) (LivenessResult, error) {
 	if err != nil {
 		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
 	}
-	preLP := buchi.Intersect(behaviors, pa).PrefixNFA()
+	ops := buchi.Ops{Rec: rec}
+	psp := obs.StartSpan(rec, "pre(L∩P)").
+		Int("behavior_states", int64(behaviors.NumStates())).
+		Int("property_states", int64(pa.NumStates()))
+	preLP := ops.PrefixNFA(ops.Intersect(behaviors, pa))
+	psp.Int("out_states", int64(preLP.NumStates()))
+	psp.End()
+	isp := obs.StartSpan(rec, "pre(L) ⊆ pre(L∩P)").
+		Tag("paper", "Lemma 4.3: pre(L) = pre(L∩P)").
+		Int("left_states", int64(preL.NumStates())).
+		Int("right_states", int64(preLP.NumStates()))
 	ok, w := nfa.Included(preL, preLP)
+	isp.End()
 	if ok {
 		return LivenessResult{Holds: true}, nil
 	}
 	return LivenessResult{Holds: false, BadPrefix: w}, nil
+}
+
+// trimmedBehaviors trims sys and builds its behavior automaton lim(L),
+// reporting sizes under a "lim(L)" span. A nil trimmed system (with nil
+// error) signals that sys has no infinite behavior at all, the vacuous
+// case of the Section 4 checks.
+func trimmedBehaviors(rec obs.Recorder, sys *ts.System) (*ts.System, *buchi.Buchi, error) {
+	sp := obs.StartSpan(rec, "lim(L)").
+		Tag("paper", "Section 3: system behaviors").
+		Int("in_states", int64(sys.NumStates()))
+	defer sp.End()
+	trimmed, err := sys.Trim()
+	if err != nil {
+		sp.Int("out_states", 0)
+		return nil, nil, nil
+	}
+	behaviors, err := trimmed.Behaviors()
+	if err != nil {
+		return nil, nil, err
+	}
+	sp.Int("out_states", int64(behaviors.NumStates()))
+	sp.Int("out_transitions", int64(behaviors.NumTransitions()))
+	return trimmed, behaviors, nil
 }
 
 // RelativeLivenessDirect decides relative liveness straight from

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relive/internal/buchi"
+	"relive/internal/obs"
 	"relive/internal/ts"
 	"relive/internal/word"
 )
@@ -29,35 +30,56 @@ type SafetyResult struct {
 // intersecting with ¬P (for formulas, the translated negation; for
 // automata, the rank-based complement).
 func RelativeSafety(sys *ts.System, p Property) (SafetyResult, error) {
-	trimmed, err := sys.Trim()
+	return RelativeSafetyRec(nil, sys, p)
+}
+
+// RelativeSafetyRec is RelativeSafety with every phase reported to rec:
+// the pre(L∩P) product, its limit closure, the negation automaton, and
+// the final emptiness check of Lemma 4.4. A nil rec is the
+// uninstrumented path.
+func RelativeSafetyRec(rec obs.Recorder, sys *ts.System, p Property) (SafetyResult, error) {
+	sp := obs.StartSpan(rec, "core.RelativeSafety").
+		Tag("paper", "Definition 4.2 via Lemma 4.4")
+	defer sp.End()
+	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
 	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
+	if trimmed == nil {
 		// No infinite behavior: every x ∈ L_ω = ∅ vacuously satisfies
 		// Definition 4.2.
 		return SafetyResult{Holds: true}, nil
 	}
-	behaviors, err := trimmed.Behaviors()
+	pa, err := p.AutomatonRec(rec, sys.Alphabet())
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
-	pa, err := p.Automaton(sys.Alphabet())
-	if err != nil {
-		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
-	}
-	preLP := buchi.Intersect(behaviors, pa).PrefixNFA().Trim()
+	ops := buchi.Ops{Rec: rec}
+	psp := obs.StartSpan(rec, "pre(L∩P)").
+		Int("behavior_states", int64(behaviors.NumStates())).
+		Int("property_states", int64(pa.NumStates()))
+	preLP := ops.PrefixNFA(ops.Intersect(behaviors, pa)).Trim()
+	psp.Int("out_states", int64(preLP.NumStates()))
+	psp.End()
 	if preLP.NumStates() == 0 {
 		// L_ω ∩ P = ∅: its prefix limit is empty and inclusion is trivial.
 		return SafetyResult{Holds: true}, nil
 	}
-	limPre, err := buchi.LimitOfAllAccepting(preLP)
+	limPre, err := ops.LimitOfAllAccepting(preLP)
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
-	lhs := buchi.Intersect(behaviors, limPre)
-	notP, err := p.NegationAutomaton(sys.Alphabet())
+	lhs := ops.Intersect(behaviors, limPre)
+	notP, err := p.NegationAutomatonRec(rec, sys.Alphabet())
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
-	l, found := buchi.Intersect(lhs, notP).AcceptingLasso()
+	isp := obs.StartSpan(rec, "L ∩ lim(pre(L∩P)) ⊆ P").
+		Tag("paper", "Lemma 4.4: L ∩ lim(pre(L∩P)) ⊆ P").
+		Int("lhs_states", int64(lhs.NumStates())).
+		Int("negation_states", int64(notP.NumStates()))
+	l, found := ops.AcceptingLasso(ops.Intersect(lhs, notP))
+	isp.End()
 	if found {
 		return SafetyResult{Holds: false, Violation: l}, nil
 	}
@@ -76,19 +98,32 @@ type SatisfactionResult struct {
 // a relative liveness and a relative safety property; the equivalence is
 // exercised by the test suite.
 func Satisfies(sys *ts.System, p Property) (SatisfactionResult, error) {
-	trimmed, err := sys.Trim()
+	return SatisfiesRec(nil, sys, p)
+}
+
+// SatisfiesRec is Satisfies with the negation construction and the
+// emptiness check of L ∩ ¬P reported to rec.
+func SatisfiesRec(rec obs.Recorder, sys *ts.System, p Property) (SatisfactionResult, error) {
+	sp := obs.StartSpan(rec, "core.Satisfies").
+		Tag("paper", "Definition 3.2: L ⊆ P")
+	defer sp.End()
+	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
 	if err != nil {
+		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
+	}
+	if trimmed == nil {
 		return SatisfactionResult{Holds: true}, nil
 	}
-	behaviors, err := trimmed.Behaviors()
+	notP, err := p.NegationAutomatonRec(rec, sys.Alphabet())
 	if err != nil {
 		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
 	}
-	notP, err := p.NegationAutomaton(sys.Alphabet())
-	if err != nil {
-		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
-	}
-	l, found := buchi.Intersect(behaviors, notP).AcceptingLasso()
+	ops := buchi.Ops{Rec: rec}
+	isp := obs.StartSpan(rec, "L ∩ ¬P = ∅").
+		Int("behavior_states", int64(behaviors.NumStates())).
+		Int("negation_states", int64(notP.NumStates()))
+	l, found := ops.AcceptingLasso(ops.Intersect(behaviors, notP))
+	isp.End()
 	if found {
 		return SatisfactionResult{Holds: false, Counterexample: l}, nil
 	}

@@ -43,6 +43,30 @@ func (a *NFA) Alphabet() *alphabet.Alphabet { return a.ab }
 // NumStates returns the number of states.
 func (a *NFA) NumStates() int { return len(a.accepting) }
 
+// NumTransitions returns the total number of transitions, ε-transitions
+// included, so gauges and users need not walk the transition maps by
+// hand.
+func (a *NFA) NumTransitions() int {
+	n := 0
+	for _, m := range a.trans {
+		for _, ts := range m {
+			n += len(ts)
+		}
+	}
+	return n
+}
+
+// NumAccepting returns the number of accepting states.
+func (a *NFA) NumAccepting() int {
+	n := 0
+	for _, acc := range a.accepting {
+		if acc {
+			n++
+		}
+	}
+	return n
+}
+
 // AddState adds a fresh state and returns it; accepting sets its
 // acceptance status.
 func (a *NFA) AddState(accepting bool) State {

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Dump is the machine-readable form of a Trace: every span plus the
+// final counter and gauge values. It is what -trace-json emits and what
+// ReadJSON parses back.
+type Dump struct {
+	Spans    []SpanRecord     `json:"spans"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Dump snapshots the trace.
+func (t *Trace) Dump() Dump {
+	return Dump{Spans: t.Spans(), Counters: t.Counters(), Gauges: t.Gauges()}
+}
+
+// WriteJSON writes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}
+
+// ReadJSON parses a dump previously written by WriteJSON and validates
+// its span graph: ids must be dense starting at 1 and parents must
+// reference earlier spans.
+func ReadJSON(r io.Reader) (Dump, error) {
+	var d Dump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return Dump{}, fmt.Errorf("obs: parsing trace JSON: %w", err)
+	}
+	for i, s := range d.Spans {
+		if s.ID != SpanID(i+1) {
+			return Dump{}, fmt.Errorf("obs: span %d has id %d, want %d", i, s.ID, i+1)
+		}
+		if s.Parent < 0 || s.Parent >= s.ID {
+			return Dump{}, fmt.Errorf("obs: span %d has invalid parent %d", s.ID, s.Parent)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed (or still open) span as stored by Trace
+// and serialized by the JSON dump.
+type SpanRecord struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartNS is the span's start offset from the trace origin in
+	// nanoseconds; DurationNS is -1 while the span is open.
+	StartNS    int64             `json:"start_ns"`
+	DurationNS int64             `json:"duration_ns"`
+	Tags       map[string]string `json:"tags,omitempty"`
+	Ints       map[string]int64  `json:"ints,omitempty"`
+}
+
+// Trace is the in-memory Recorder: it stores every span with its
+// nesting, plus counters and gauges. All methods are safe for
+// concurrent use. Nesting is derived from start/end bracketing — a span
+// started while another is open becomes its child — which matches the
+// sequential structure of the decision procedures; under concurrent use
+// spans are still recorded and timed correctly, but the parent edges
+// follow global bracketing order.
+type Trace struct {
+	mu       sync.Mutex
+	origin   time.Time
+	spans    []SpanRecord
+	open     []SpanID
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// NewTrace returns an empty Trace whose time origin is now.
+func NewTrace() *Trace {
+	return &Trace{
+		origin:   time.Now(),
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+	}
+}
+
+// SpanStart implements Recorder.
+func (t *Trace) SpanStart(name string) SpanID {
+	now := time.Since(t.origin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := SpanID(len(t.spans) + 1)
+	var parent SpanID
+	if len(t.open) > 0 {
+		parent = t.open[len(t.open)-1]
+	}
+	t.spans = append(t.spans, SpanRecord{
+		ID:         id,
+		Parent:     parent,
+		Name:       name,
+		StartNS:    now.Nanoseconds(),
+		DurationNS: -1,
+	})
+	t.open = append(t.open, id)
+	return id
+}
+
+// SpanEnd implements Recorder. Ending a span also closes out-of-order
+// descendants still marked open, so a forgotten End deeper in the call
+// chain cannot corrupt the nesting of later spans.
+func (t *Trace) SpanEnd(id SpanID) {
+	now := time.Since(t.origin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.record(id)
+	if r == nil || r.DurationNS >= 0 {
+		return
+	}
+	r.DurationNS = now.Nanoseconds() - r.StartNS
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] != id {
+			continue
+		}
+		// Everything above id on the stack is a descendant whose owner
+		// never called End; close it at the same instant.
+		for _, desc := range t.open[i+1:] {
+			if dr := t.record(desc); dr != nil && dr.DurationNS < 0 {
+				dr.DurationNS = now.Nanoseconds() - dr.StartNS
+			}
+		}
+		t.open = t.open[:i]
+		break
+	}
+}
+
+// SpanTag implements Recorder.
+func (t *Trace) SpanTag(id SpanID, key, value string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r := t.record(id); r != nil {
+		if r.Tags == nil {
+			r.Tags = map[string]string{}
+		}
+		r.Tags[key] = value
+	}
+}
+
+// SpanInt implements Recorder.
+func (t *Trace) SpanInt(id SpanID, key string, value int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r := t.record(id); r != nil {
+		if r.Ints == nil {
+			r.Ints = map[string]int64{}
+		}
+		r.Ints[key] = value
+	}
+}
+
+// Count implements Recorder.
+func (t *Trace) Count(name string, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counters[name] += delta
+}
+
+// Gauge implements Recorder.
+func (t *Trace) Gauge(name string, value int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gauges[name] = value
+}
+
+// record returns the span with the given id, or nil.
+func (t *Trace) record(id SpanID) *SpanRecord {
+	if id < 1 || int(id) > len(t.spans) {
+		return nil
+	}
+	return &t.spans[id-1]
+}
+
+// Spans returns a copy of the recorded spans in start order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		out[i].Tags = copyMap(t.spans[i].Tags)
+		out[i].Ints = copyMap(t.spans[i].Ints)
+	}
+	return out
+}
+
+// Counters returns a copy of the counters.
+func (t *Trace) Counters() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyMap(t.counters)
+}
+
+// Gauges returns a copy of the gauges.
+func (t *Trace) Gauges() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyMap(t.gauges)
+}
+
+// Find returns the first recorded span with the given name, for tests
+// and report generators.
+func (t *Trace) Find(name string) (SpanRecord, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.spans {
+		if r.Name == name {
+			out := r
+			out.Tags = copyMap(r.Tags)
+			out.Ints = copyMap(r.Ints)
+			return out, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+// Reset discards all recorded data and restarts the time origin, so one
+// Trace can be reused across benchmark cases.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.origin = time.Now()
+	t.spans = nil
+	t.open = nil
+	t.counters = map[string]int64{}
+	t.gauges = map[string]int64{}
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	if m == nil {
+		return nil
+	}
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedKeys returns the keys of m sorted lexicographically.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteTree renders the trace as a human-readable phase tree: one line
+// per span with its duration, integer attributes (automaton sizes), and
+// paper tags, followed by the counters and gauges. This is what the
+// CLIs print under -stats.
+func (t *Trace) WriteTree(w io.Writer) error {
+	return t.Dump().WriteTree(w)
+}
+
+// WriteTree renders the dump as a phase tree; see (*Trace).WriteTree.
+func (d Dump) WriteTree(w io.Writer) error {
+	children := map[SpanID][]SpanID{}
+	byID := map[SpanID]SpanRecord{}
+	for _, s := range d.Spans {
+		byID[s.ID] = s
+		children[s.Parent] = append(children[s.Parent], s.ID)
+	}
+	var render func(id SpanID, prefix, childPrefix string) error
+	render = func(id SpanID, prefix, childPrefix string) error {
+		if _, err := fmt.Fprintf(w, "%s%s\n", prefix, spanLine(byID[id])); err != nil {
+			return err
+		}
+		kids := children[id]
+		for i, kid := range kids {
+			connector, extend := "├─ ", "│  "
+			if i == len(kids)-1 {
+				connector, extend = "└─ ", "   "
+			}
+			if err := render(kid, childPrefix+connector, childPrefix+extend); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range children[0] {
+		if err := render(root, "", ""); err != nil {
+			return err
+		}
+	}
+	if len(d.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, k := range sortedKeys(d.Counters) {
+			fmt.Fprintf(w, "  %-40s %d\n", k, d.Counters[k])
+		}
+	}
+	if len(d.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(d.Gauges) {
+			fmt.Fprintf(w, "  %-40s %d\n", k, d.Gauges[k])
+		}
+	}
+	return nil
+}
+
+// spanLine formats one span: name, duration, sorted int attributes,
+// then tags in brackets.
+func spanLine(s SpanRecord) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.DurationNS >= 0 {
+		fmt.Fprintf(&b, "  %s", formatDuration(time.Duration(s.DurationNS)))
+	} else {
+		b.WriteString("  (open)")
+	}
+	for _, k := range sortedKeys(s.Ints) {
+		fmt.Fprintf(&b, " %s=%d", k, s.Ints[k])
+	}
+	for _, k := range sortedKeys(s.Tags) {
+		fmt.Fprintf(&b, " [%s: %s]", k, s.Tags[k])
+	}
+	return b.String()
+}
+
+// formatDuration rounds to a readable precision: sub-millisecond spans
+// keep microseconds, longer ones keep three significant sub-units.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

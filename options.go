@@ -1,0 +1,129 @@
+package relive
+
+import (
+	"io"
+
+	"relive/internal/core"
+	"relive/internal/obs"
+)
+
+// Observability re-exports. A Recorder receives spans (nested phase
+// timers), counters, and gauges from every decision procedure; Trace is
+// the in-memory implementation whose dump powers the CLIs' -stats and
+// -trace-json flags. See docs/OBSERVABILITY.md for the span naming
+// convention (operations are "<package>.<Op>", lemma/theorem steps use
+// the paper's notation and carry a "paper" tag).
+type (
+	// Recorder receives spans, counters, and gauges; nil means off and
+	// costs one nil check per instrumentation point.
+	Recorder = obs.Recorder
+	// Trace is the in-memory Recorder; safe for concurrent use.
+	Trace = obs.Trace
+	// TraceDump is the serializable snapshot of a Trace.
+	TraceDump = obs.Dump
+	// SpanRecord is one recorded phase with duration, automaton sizes,
+	// and paper tags.
+	SpanRecord = obs.SpanRecord
+)
+
+// NewTrace returns an empty in-memory trace recorder.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// ReadTraceJSON parses a dump written by (*Trace).WriteJSON.
+func ReadTraceJSON(r io.Reader) (TraceDump, error) { return obs.ReadJSON(r) }
+
+// Checker runs the decision procedures with options attached — today a
+// Recorder; the zero value (or With() with no options) behaves exactly
+// like the package-level functions.
+type Checker struct {
+	rec Recorder
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithRecorder attaches a recorder so every phase of every check run
+// through the returned Checker reports spans and metrics to it.
+func WithRecorder(rec Recorder) Option {
+	return func(c *Checker) { c.rec = rec }
+}
+
+// With returns a Checker carrying the given options. Existing
+// package-level entry points are unchanged; this is the additive way to
+// attach observability:
+//
+//	tr := relive.NewTrace()
+//	res, err := relive.With(relive.WithRecorder(tr)).CheckRelativeLiveness(sys, f)
+//	tr.WriteTree(os.Stderr)
+func With(opts ...Option) *Checker {
+	c := &Checker{}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Recorder returns the attached recorder (nil when none).
+func (c *Checker) Recorder() Recorder { return c.rec }
+
+// CheckRelativeLiveness is the package-level CheckRelativeLiveness with
+// the Checker's options applied.
+func (c *Checker) CheckRelativeLiveness(sys *System, f *Formula) (LivenessResult, error) {
+	return core.RelativeLivenessRec(c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckRelativeLivenessProperty is CheckRelativeLiveness for a Property.
+func (c *Checker) CheckRelativeLivenessProperty(sys *System, p Property) (LivenessResult, error) {
+	return core.RelativeLivenessRec(c.rec, sys, p)
+}
+
+// CheckRelativeSafety is the package-level CheckRelativeSafety with the
+// Checker's options applied.
+func (c *Checker) CheckRelativeSafety(sys *System, f *Formula) (SafetyResult, error) {
+	return core.RelativeSafetyRec(c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckRelativeSafetyProperty is CheckRelativeSafety for a Property.
+func (c *Checker) CheckRelativeSafetyProperty(sys *System, p Property) (SafetyResult, error) {
+	return core.RelativeSafetyRec(c.rec, sys, p)
+}
+
+// CheckSatisfies is the package-level CheckSatisfies with the Checker's
+// options applied.
+func (c *Checker) CheckSatisfies(sys *System, f *Formula) (SatisfactionResult, error) {
+	return core.SatisfiesRec(c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckSatisfiesProperty is CheckSatisfies for a Property.
+func (c *Checker) CheckSatisfiesProperty(sys *System, p Property) (SatisfactionResult, error) {
+	return core.SatisfiesRec(c.rec, sys, p)
+}
+
+// CheckAll is the package-level CheckAll with the Checker's options
+// applied.
+func (c *Checker) CheckAll(sys *System, f *Formula) (*Report, error) {
+	return core.CheckAllRec(c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckAllProperty is CheckAll for a Property.
+func (c *Checker) CheckAllProperty(sys *System, p Property) (*Report, error) {
+	return core.CheckAllRec(c.rec, sys, p)
+}
+
+// MachineClosed is the package-level MachineClosed with the Checker's
+// options applied.
+func (c *Checker) MachineClosed(lomega, lambda *Buchi) (MachineClosureResult, error) {
+	return core.MachineClosedRec(c.rec, lomega, lambda)
+}
+
+// SynthesizeFairImplementation is the package-level
+// SynthesizeFairImplementation with the Checker's options applied.
+func (c *Checker) SynthesizeFairImplementation(sys *System, f *Formula) (*FairImplementation, error) {
+	return core.SynthesizeFairImplementationRec(c.rec, sys, core.FromFormula(f, nil))
+}
+
+// VerifyViaAbstraction is the package-level VerifyViaAbstraction with
+// the Checker's options applied.
+func (c *Checker) VerifyViaAbstraction(sys *System, h *Hom, eta *Formula) (*AbstractionReport, error) {
+	return core.VerifyViaAbstractionRec(c.rec, sys, h, eta)
+}
