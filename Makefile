@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples cover clean
+.PHONY: all build test vet bench bench-save bench-cmp experiments examples cover clean
+
+# Flags shared by bench and bench-save so saved baselines stay comparable.
+BENCHFLAGS ?= -run='^$$' -bench=. -benchmem -benchtime=200ms -count=1
 
 all: build test
 
@@ -14,7 +17,21 @@ test: vet
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test $(BENCHFLAGS) .
+
+# Save a benchmark baseline to compare against after a change:
+#   make bench-save OUT=bench_before.txt
+#   ...edit...
+#   make bench-save OUT=bench_after.txt
+#   make bench-cmp BEFORE=bench_before.txt AFTER=bench_after.txt
+OUT ?= bench_baseline.txt
+bench-save:
+	$(GO) test $(BENCHFLAGS) . | tee $(OUT)
+
+BEFORE ?= bench_before.txt
+AFTER  ?= bench_after.txt
+bench-cmp:
+	./scripts/benchcmp $(BEFORE) $(AFTER)
 
 # Reproduce every figure and claim of the paper (EXPERIMENTS.md source).
 experiments:

@@ -28,6 +28,9 @@ type Buchi struct {
 	initial   []State
 	accepting []bool
 	trans     []map[alphabet.Symbol][]State
+	// csr is the lazily built compiled form (see compiled.go); it is
+	// invalidated whenever a state or transition is added.
+	csr *compiled
 }
 
 // New returns an empty Büchi automaton over ab.
@@ -69,6 +72,7 @@ func (b *Buchi) AddState(accepting bool) State {
 	s := State(len(b.accepting))
 	b.accepting = append(b.accepting, accepting)
 	b.trans = append(b.trans, nil)
+	b.csr = nil
 	return s
 }
 
@@ -100,18 +104,34 @@ func (b *Buchi) AddTransition(from State, sym alphabet.Symbol, to State) {
 		}
 	}
 	m[sym] = append(m[sym], to)
+	b.csr = nil
+}
+
+// addEdge appends from --sym--> to without the duplicate scan. It is
+// the fast path of the product constructions, whose interning already
+// guarantees distinct targets per (state, symbol) row.
+func (b *Buchi) addEdge(from State, sym alphabet.Symbol, to State) {
+	m := b.trans[from]
+	if m == nil {
+		m = make(map[alphabet.Symbol][]State, 4)
+		b.trans[from] = m
+	}
+	m[sym] = append(m[sym], to)
+	b.csr = nil
 }
 
 // Succ returns the successors of s under sym.
 func (b *Buchi) Succ(s State, sym alphabet.Symbol) []State { return b.trans[s][sym] }
 
-// Clone returns a deep copy sharing the alphabet.
+// Clone returns a deep copy sharing the alphabet (and the immutable
+// compiled form, when one has been built).
 func (b *Buchi) Clone() *Buchi {
 	c := &Buchi{
 		ab:        b.ab,
 		initial:   append([]State(nil), b.initial...),
 		accepting: append([]bool(nil), b.accepting...),
 		trans:     make([]map[alphabet.Symbol][]State, len(b.trans)),
+		csr:       b.csr,
 	}
 	for i, m := range b.trans {
 		if m == nil {
@@ -124,18 +144,6 @@ func (b *Buchi) Clone() *Buchi {
 		c.trans[i] = cm
 	}
 	return c
-}
-
-func (b *Buchi) succFunc() graph.Succ {
-	return func(v int) []int {
-		var out []int
-		for _, ts := range b.trans[v] {
-			for _, t := range ts {
-				out = append(out, int(t))
-			}
-		}
-		return out
-	}
 }
 
 func (b *Buchi) initialInts() []int {
@@ -207,13 +215,13 @@ func FromNFA(a *nfa.NFA) (*Buchi, error) {
 // the initial states equals pre(L_ω(b)).
 func (b *Buchi) Reduce() *Buchi {
 	n := b.NumStates()
-	succ := b.succFunc()
+	g := b.compiled().graph()
 	// States on an accepting cycle: in a nontrivial SCC containing an
 	// accepting state.
-	comps := graph.SCCs(n, succ)
+	comps := graph.SCCsCSR(g)
 	onAcceptingCycle := make([]bool, n)
 	for _, c := range comps {
-		if graph.IsTrivialSCC(c, succ) {
+		if graph.IsTrivialSCCCSR(c, g) {
 			continue
 		}
 		hasAcc := false
@@ -229,8 +237,8 @@ func (b *Buchi) Reduce() *Buchi {
 			}
 		}
 	}
-	live := graph.CoReachable(n, onAcceptingCycle, succ)
-	reach := graph.Reachable(n, b.initialInts(), succ)
+	live := graph.CoReachableCSR(g, onAcceptingCycle)
+	reach := graph.ReachableCSR(g, b.initialInts())
 
 	keep := make([]State, n)
 	for i := range keep {
@@ -274,15 +282,15 @@ func (b *Buchi) IsEmpty() bool {
 // through that state.
 func (b *Buchi) AcceptingLasso() (word.Lasso, bool) {
 	n := b.NumStates()
-	succ := b.succFunc()
-	reach := graph.Reachable(n, b.initialInts(), succ)
-	comps := graph.SCCs(n, succ)
+	g := b.compiled().graph()
+	reach := graph.ReachableCSR(g, b.initialInts())
+	comps := graph.SCCsCSR(g)
 	compOf := graph.ComponentOf(n, comps)
 
 	// Find a reachable accepting state inside a nontrivial SCC.
 	target := -1
 	for _, c := range comps {
-		if graph.IsTrivialSCC(c, succ) {
+		if graph.IsTrivialSCCCSR(c, g) {
 			continue
 		}
 		for _, v := range c {
@@ -335,11 +343,12 @@ func (b *Buchi) AcceptingLasso() (word.Lasso, bool) {
 func (b *Buchi) pathWord(sources []State, goal func(State) bool, within func(State) bool) (word.Word, bool) {
 	type entry struct {
 		s      State
-		parent int
+		parent int32
 		sym    alphabet.Symbol
 	}
+	c := b.compiled()
 	var queue []entry
-	seen := make(map[State]bool)
+	seen := make([]bool, b.NumStates())
 	for _, s := range sources {
 		if within != nil && !within(s) {
 			continue
@@ -353,7 +362,7 @@ func (b *Buchi) pathWord(sources []State, goal func(State) bool, within func(Sta
 		cur := queue[i]
 		if goal(cur.s) {
 			var w word.Word
-			for j := i; queue[j].parent != -1; j = queue[j].parent {
+			for j := int32(i); queue[j].parent != -1; j = queue[j].parent {
 				w = append(w, queue[j].sym)
 			}
 			for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
@@ -361,14 +370,15 @@ func (b *Buchi) pathWord(sources []State, goal func(State) bool, within func(Sta
 			}
 			return w, true
 		}
-		for sym, ts := range b.trans[cur.s] {
-			for _, t := range ts {
+		for sym := 1; sym <= c.syms; sym++ {
+			for _, t := range c.row(cur.s, alphabet.Symbol(sym)) {
+				t := State(t)
 				if within != nil && !within(t) {
 					continue
 				}
 				if !seen[t] {
 					seen[t] = true
-					queue = append(queue, entry{s: t, parent: i, sym: sym})
+					queue = append(queue, entry{s: t, parent: int32(i), sym: alphabet.Symbol(sym)})
 				}
 			}
 		}
@@ -392,6 +402,7 @@ func Intersect(a, c *Buchi) *Buchi {
 		return plainProduct(a, c)
 	}
 	out := New(a.ab)
+	ca, cc := a.compiled(), c.compiled()
 	type key struct {
 		x, y  State
 		track uint8
@@ -412,21 +423,25 @@ func Intersect(a, c *Buchi) *Buchi {
 			out.SetInitial(intern(key{x, y, 0}))
 		}
 	}
-	for len(queue) > 0 {
-		k := queue[0]
-		queue = queue[1:]
+	syms := a.ab.Size()
+	for qi := 0; qi < len(queue); qi++ {
+		k := queue[qi]
 		from := index[k]
-		for sym, xs := range a.trans[k.x] {
-			ys := c.trans[k.y][sym]
+		track := k.track
+		if track == 0 && a.accepting[k.x] {
+			track = 1
+		} else if track == 1 && c.accepting[k.y] {
+			track = 0
+		}
+		for sym := 1; sym <= syms; sym++ {
+			xs := ca.row(k.x, alphabet.Symbol(sym))
+			if len(xs) == 0 {
+				continue
+			}
+			ys := cc.row(k.y, alphabet.Symbol(sym))
 			for _, x := range xs {
 				for _, y := range ys {
-					track := k.track
-					if track == 0 && a.accepting[k.x] {
-						track = 1
-					} else if track == 1 && c.accepting[k.y] {
-						track = 0
-					}
-					out.AddTransition(from, sym, intern(key{x, y, track}))
+					out.addEdge(from, alphabet.Symbol(sym), intern(key{State(x), State(y), track}))
 				}
 			}
 		}
@@ -447,6 +462,7 @@ func (b *Buchi) allAccepting() bool {
 // acceptance; correct when one operand accepts with every state.
 func plainProduct(a, c *Buchi) *Buchi {
 	out := New(a.ab)
+	ca, cc := a.compiled(), c.compiled()
 	type pair struct{ x, y State }
 	index := map[pair]State{}
 	var queue []pair
@@ -464,15 +480,19 @@ func plainProduct(a, c *Buchi) *Buchi {
 			out.SetInitial(intern(pair{x, y}))
 		}
 	}
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	syms := a.ab.Size()
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
 		from := index[p]
-		for sym, xs := range a.trans[p.x] {
-			ys := c.trans[p.y][sym]
+		for sym := 1; sym <= syms; sym++ {
+			xs := ca.row(p.x, alphabet.Symbol(sym))
+			if len(xs) == 0 {
+				continue
+			}
+			ys := cc.row(p.y, alphabet.Symbol(sym))
 			for _, x := range xs {
 				for _, y := range ys {
-					out.AddTransition(from, sym, intern(pair{x, y}))
+					out.addEdge(from, alphabet.Symbol(sym), intern(pair{State(x), State(y)}))
 				}
 			}
 		}
@@ -530,9 +550,9 @@ func LassoAutomaton(ab *alphabet.Alphabet, l word.Lasso) *Buchi {
 }
 
 // AcceptsLasso reports whether b accepts the ultimately periodic word l,
-// via emptiness of the product with the lasso automaton.
+// via on-the-fly emptiness of the product with the lasso automaton.
 func (b *Buchi) AcceptsLasso(l word.Lasso) bool {
-	return !Intersect(b, LassoAutomaton(b.ab, l)).IsEmpty()
+	return !IntersectEmpty(b, LassoAutomaton(b.ab, l))
 }
 
 // LimitOfPrefixClosed returns a Büchi automaton for lim(L(a)) where L(a)
@@ -563,34 +583,31 @@ func LimitOfAllAccepting(a *nfa.NFA) (*Buchi, error) {
 // (expensive) prefix-closure validation.
 func limitOfPrefixClosedUnchecked(a *nfa.NFA) *Buchi {
 	e := a.RemoveEpsilon().Trim()
-	// Iteratively remove dead ends: states with no successors cannot lie
-	// on an infinite path.
+	// Remove dead ends — states with no successors cannot lie on an
+	// infinite path — by an O(V+E) worklist on the compiled graph: track
+	// each state's count of edges into still-alive states, and when one
+	// drops to zero propagate through the reverse graph.
 	n := e.NumStates()
+	ce := e.Compiled()
+	g := ce.Graph()
+	rev := g.Reverse()
 	alive := make([]bool, n)
-	for i := range alive {
+	deg := make([]int32, n)
+	var queue []int32
+	for i := 0; i < n; i++ {
 		alive[i] = true
+		deg[i] = int32(len(g.Succ(i)))
+		if deg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
 	}
-	for changed := true; changed; {
-		changed = false
-		for i := 0; i < n; i++ {
-			if !alive[i] {
-				continue
-			}
-			hasSucc := false
-			for _, sym := range e.Alphabet().Symbols() {
-				for _, t := range e.Succ(nfa.State(i), sym) {
-					if alive[t] {
-						hasSucc = true
-						break
-					}
-				}
-				if hasSucc {
-					break
-				}
-			}
-			if !hasSucc {
-				alive[i] = false
-				changed = true
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		alive[v] = false
+		for _, u := range rev.Succ(int(v)) {
+			deg[u]--
+			if deg[u] == 0 && alive[u] {
+				queue = append(queue, u)
 			}
 		}
 	}
@@ -609,7 +626,7 @@ func limitOfPrefixClosedUnchecked(a *nfa.NFA) *Buchi {
 			continue
 		}
 		for _, sym := range e.Alphabet().Symbols() {
-			for _, t := range e.Succ(nfa.State(i), sym) {
+			for _, t := range ce.Row(nfa.State(i), sym) {
 				if keep[t] >= 0 {
 					b.AddTransition(keep[i], sym, keep[t])
 				}
@@ -655,7 +672,7 @@ func Included(a, c *Buchi) (bool, word.Lasso, error) {
 	if err != nil {
 		return false, word.Lasso{}, fmt.Errorf("inclusion check: %w", err)
 	}
-	l, ok := Intersect(a, comp).AcceptingLasso()
+	l, ok := IntersectLasso(a, comp)
 	if ok {
 		return false, l, nil
 	}

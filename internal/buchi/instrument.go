@@ -185,6 +185,35 @@ func (o Ops) IsEmpty(b *Buchi) bool {
 	return !ok
 }
 
+// IntersectLasso is IntersectLasso — on-the-fly emptiness of the
+// product with witness extraction — with instrumentation. The span
+// records how many product states the search explored before deciding,
+// the measure the laziness is meant to shrink.
+func (o Ops) IntersectLasso(a, c *Buchi) (word.Lasso, bool) {
+	if o.Rec == nil {
+		return IntersectLasso(a, c)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.IntersectEmpty").
+		Int("left_states", int64(a.NumStates())).
+		Int("right_states", int64(c.NumStates()))
+	l, explored, ok := intersectLasso(a, c, nil, nil)
+	empty := int64(1)
+	if ok {
+		empty = 0
+	}
+	sp.Int("explored_states", int64(explored))
+	sp.Int("empty", empty)
+	obs.Count(o.Rec, "buchi.emptiness.calls", 1)
+	sp.End()
+	return l, ok
+}
+
+// IntersectEmpty is IntersectEmpty with instrumentation.
+func (o Ops) IntersectEmpty(a, c *Buchi) bool {
+	_, ok := o.IntersectLasso(a, c)
+	return !ok
+}
+
 // Included is Included with instrumentation; the dominant cost is the
 // complementation of c, which appears as a child span.
 func (o Ops) Included(a, c *Buchi) (bool, word.Lasso, error) {
@@ -199,7 +228,7 @@ func (o Ops) Included(a, c *Buchi) (bool, word.Lasso, error) {
 	if err != nil {
 		return false, word.Lasso{}, err
 	}
-	l, ok := o.AcceptingLasso(o.Intersect(a, comp))
+	l, ok := o.IntersectLasso(a, comp)
 	if ok {
 		return false, l, nil
 	}

@@ -72,7 +72,7 @@ func IsSafetyProperty(p Property, ab *alphabet.Alphabet) (bool, word.Lasso, erro
 	if err != nil {
 		return false, word.Lasso{}, err
 	}
-	l, found := buchi.Intersect(closure, notP).AcceptingLasso()
+	l, found := buchi.IntersectLasso(closure, notP)
 	if found {
 		return false, l, nil
 	}

@@ -50,17 +50,23 @@ func MachineClosedRec(rec obs.Recorder, lomega, lambda *buchi.Buchi) (MachineClo
 // closed. It is a third, independent route to the same answer, used for
 // cross-validation and ablation benchmarks.
 func RelativeLivenessViaMachineClosure(sys *ts.System, p Property) (MachineClosureResult, error) {
-	trimmed, err := sys.Trim()
+	pl := newPipeline(nil, sys, p)
+	trimmed, behaviors, err := pl.limits()
 	if err != nil {
+		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
+	}
+	if trimmed == nil {
 		return MachineClosureResult{Holds: true}, nil
 	}
-	behaviors, err := trimmed.Behaviors()
+	// pre(Λ) for Λ = L_ω ∩ P is exactly the pipeline's pre(L∩P) product.
+	preLambda, err := pl.preProduct()
 	if err != nil {
 		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
 	}
-	pa, err := p.Automaton(sys.Alphabet())
-	if err != nil {
-		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
+	preL := behaviors.PrefixNFA()
+	ok, w := nfa.Included(preL, preLambda)
+	if ok {
+		return MachineClosureResult{Holds: true}, nil
 	}
-	return MachineClosed(behaviors, buchi.Intersect(behaviors, pa))
+	return MachineClosureResult{Holds: false, BadPrefix: w}, nil
 }

@@ -55,7 +55,7 @@ func RelativeSafetyOmega(lomega *buchi.Buchi, p Property) (SafetyResult, error) 
 		return SafetyResult{}, fmt.Errorf("relative safety (ω): %w", err)
 	}
 	lhs := buchi.Intersect(lomega, limPre)
-	l, found := buchi.Intersect(lhs, notP).AcceptingLasso()
+	l, found := buchi.IntersectLasso(lhs, notP)
 	if found {
 		return SafetyResult{Holds: false, Violation: l}, nil
 	}
@@ -68,7 +68,7 @@ func SatisfiesOmega(lomega *buchi.Buchi, p Property) (SatisfactionResult, error)
 	if err != nil {
 		return SatisfactionResult{}, fmt.Errorf("satisfaction (ω): %w", err)
 	}
-	l, found := buchi.Intersect(lomega, notP).AcceptingLasso()
+	l, found := buchi.IntersectLasso(lomega, notP)
 	if found {
 		return SatisfactionResult{Holds: false, Counterexample: l}, nil
 	}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"relive/internal/buchi"
+	"relive/internal/nfa"
+	"relive/internal/obs"
+	"relive/internal/ts"
+)
+
+// pipeline memoizes the artifacts the Section 4 decision procedures
+// share for one (system, property) pair: the trimmed system and its
+// behavior automaton lim(L), the property automaton P, its negation ¬P,
+// and the reduced product L ∩ P together with its prefix language
+// pre(L∩P). CheckAll runs satisfaction, relative liveness and relative
+// safety over one pipeline, so each artifact — previously rebuilt by
+// every procedure — is constructed exactly once per check. The
+// instrumentation spans ("lim(L)", "P→Büchi", "¬P", "pre(L∩P)") are
+// emitted by whichever procedure computes the artifact first.
+type pipeline struct {
+	rec obs.Recorder
+	sys *ts.System
+	p   Property
+	ops buchi.Ops
+
+	trimDone  bool
+	trimmed   *ts.System // nil (with nil error): no infinite behavior
+	behaviors *buchi.Buchi
+	trimErr   error
+
+	paDone bool
+	pa     *buchi.Buchi
+	paErr  error
+
+	notPDone bool
+	notP     *buchi.Buchi
+	notPErr  error
+
+	prodDone bool
+	preLP    *nfa.NFA // pre(L∩P): trim(PrefixNFA(behaviors ∩ P))
+	prodErr  error
+}
+
+func newPipeline(rec obs.Recorder, sys *ts.System, p Property) *pipeline {
+	return &pipeline{rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec}}
+}
+
+// limits returns the trimmed system and its behavior automaton lim(L).
+// A nil trimmed system (with nil error) signals the vacuous case: sys
+// has no infinite behavior at all.
+func (pl *pipeline) limits() (*ts.System, *buchi.Buchi, error) {
+	if !pl.trimDone {
+		pl.trimDone = true
+		pl.trimmed, pl.behaviors, pl.trimErr = trimmedBehaviors(pl.rec, pl.sys)
+	}
+	return pl.trimmed, pl.behaviors, pl.trimErr
+}
+
+// property returns the Büchi automaton for P.
+func (pl *pipeline) property() (*buchi.Buchi, error) {
+	if !pl.paDone {
+		pl.paDone = true
+		pl.pa, pl.paErr = pl.p.AutomatonRec(pl.rec, pl.sys.Alphabet())
+	}
+	return pl.pa, pl.paErr
+}
+
+// negation returns the Büchi automaton for ¬P.
+func (pl *pipeline) negation() (*buchi.Buchi, error) {
+	if !pl.notPDone {
+		pl.notPDone = true
+		pl.notP, pl.notPErr = pl.p.NegationAutomatonRec(pl.rec, pl.sys.Alphabet())
+	}
+	return pl.notP, pl.notPErr
+}
+
+// preProduct returns pre(L∩P), the prefix language of the reduced
+// product of the behaviors with the property automaton, shared by the
+// Lemma 4.3 and Lemma 4.4 checks. The result is trim; it has zero
+// states exactly when L_ω ∩ P = ∅. Must not be called in the vacuous
+// case (nil trimmed system).
+func (pl *pipeline) preProduct() (*nfa.NFA, error) {
+	if pl.prodDone {
+		return pl.preLP, pl.prodErr
+	}
+	pl.prodDone = true
+	_, behaviors, err := pl.limits()
+	if err != nil {
+		pl.prodErr = err
+		return nil, err
+	}
+	pa, err := pl.property()
+	if err != nil {
+		pl.prodErr = err
+		return nil, err
+	}
+	psp := obs.StartSpan(pl.rec, "pre(L∩P)").
+		Int("behavior_states", int64(behaviors.NumStates())).
+		Int("property_states", int64(pa.NumStates()))
+	pl.preLP = pl.ops.PrefixNFA(pl.ops.Intersect(behaviors, pa)).Trim()
+	psp.Int("out_states", int64(pl.preLP.NumStates()))
+	psp.End()
+	return pl.preLP, nil
+}

@@ -34,20 +34,24 @@ func CheckAll(sys *ts.System, p Property) (*Report, error) {
 }
 
 // CheckAllRec is CheckAll with all three decision procedures reported
-// to rec under one "core.CheckAll" root span.
+// to rec under one "core.CheckAll" root span. The three procedures run
+// over one shared pipeline, so the behavior automaton, the property
+// automaton and its negation, and the pre(L∩P) product are each built
+// once instead of once per procedure.
 func CheckAllRec(rec obs.Recorder, sys *ts.System, p Property) (*Report, error) {
 	sp := obs.StartSpan(rec, "core.CheckAll").
 		Tag("paper", "Section 4 (cross-checked via Theorem 4.7)")
 	defer sp.End()
-	sat, err := SatisfiesRec(rec, sys, p)
+	pl := newPipeline(rec, sys, p)
+	sat, err := satisfiesPipe(pl)
 	if err != nil {
 		return nil, err
 	}
-	rl, err := RelativeLivenessRec(rec, sys, p)
+	rl, err := relativeLivenessPipe(pl)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := RelativeSafetyRec(rec, sys, p)
+	rs, err := relativeSafetyPipe(pl)
 	if err != nil {
 		return nil, err
 	}

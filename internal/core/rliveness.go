@@ -40,10 +40,17 @@ func RelativeLiveness(sys *ts.System, p Property) (LivenessResult, error) {
 // pre(L∩P) product, and the Lemma 4.3 inclusion check, each with
 // automaton sizes and durations. A nil rec is the uninstrumented path.
 func RelativeLivenessRec(rec obs.Recorder, sys *ts.System, p Property) (LivenessResult, error) {
-	sp := obs.StartSpan(rec, "core.RelativeLiveness").
+	return relativeLivenessPipe(newPipeline(rec, sys, p))
+}
+
+// relativeLivenessPipe is the Lemma 4.3 check over a (possibly shared)
+// pipeline, so CheckAll reuses the behaviors, property automaton and
+// pre(L∩P) product across procedures.
+func relativeLivenessPipe(pl *pipeline) (LivenessResult, error) {
+	sp := obs.StartSpan(pl.rec, "core.RelativeLiveness").
 		Tag("paper", "Definition 4.1 via Lemma 4.3")
 	defer sp.End()
-	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
+	trimmed, _, err := pl.limits()
 	if err != nil {
 		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
 	}
@@ -52,22 +59,15 @@ func RelativeLivenessRec(rec obs.Recorder, sys *ts.System, p Property) (Liveness
 		// Definition 4.1 is vacuously true.
 		return LivenessResult{Holds: true}, nil
 	}
-	pa, err := p.AutomatonRec(rec, sys.Alphabet())
-	if err != nil {
-		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
-	}
 	preL, err := trimmed.NFA()
 	if err != nil {
 		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
 	}
-	ops := buchi.Ops{Rec: rec}
-	psp := obs.StartSpan(rec, "pre(L∩P)").
-		Int("behavior_states", int64(behaviors.NumStates())).
-		Int("property_states", int64(pa.NumStates()))
-	preLP := ops.PrefixNFA(ops.Intersect(behaviors, pa))
-	psp.Int("out_states", int64(preLP.NumStates()))
-	psp.End()
-	isp := obs.StartSpan(rec, "pre(L) ⊆ pre(L∩P)").
+	preLP, err := pl.preProduct()
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
+	}
+	isp := obs.StartSpan(pl.rec, "pre(L) ⊆ pre(L∩P)").
 		Tag("paper", "Lemma 4.3: pre(L) = pre(L∩P)").
 		Int("left_states", int64(preL.NumStates())).
 		Int("right_states", int64(preLP.NumStates()))
@@ -170,10 +170,10 @@ func RelativeLivenessDirect(sys *ts.System, p Property) (LivenessResult, error) 
 		// Check Definition 4.1 at this configuration: some continuation x
 		// with wx a behavior satisfying P, i.e. the product of the
 		// behavior automaton started at cur.sys with the property
-		// automaton started at cur.prop is nonempty.
-		contBeh := restart(behaviors, cur.sys)
-		contProp := restart(pa, cur.prop)
-		if buchi.Intersect(contBeh, contProp).IsEmpty() {
+		// automaton started at cur.prop is nonempty. The on-the-fly
+		// check explores that product directly instead of cloning and
+		// re-rooting both automata per configuration.
+		if buchi.IntersectEmptyFrom(behaviors, pa, cur.sys, cur.prop) {
 			return LivenessResult{Holds: false, BadPrefix: wordTo(i)}, nil
 		}
 		for _, sym := range sys.Alphabet().Symbols() {

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"relive/internal/buchi"
 	"relive/internal/obs"
 	"relive/internal/ts"
 	"relive/internal/word"
@@ -38,10 +37,17 @@ func RelativeSafety(sys *ts.System, p Property) (SafetyResult, error) {
 // the final emptiness check of Lemma 4.4. A nil rec is the
 // uninstrumented path.
 func RelativeSafetyRec(rec obs.Recorder, sys *ts.System, p Property) (SafetyResult, error) {
-	sp := obs.StartSpan(rec, "core.RelativeSafety").
+	return relativeSafetyPipe(newPipeline(rec, sys, p))
+}
+
+// relativeSafetyPipe is the Lemma 4.4 check over a (possibly shared)
+// pipeline. The final inclusion is decided by on-the-fly emptiness of
+// (L ∩ lim(pre(L∩P))) ∩ ¬P instead of materializing that product.
+func relativeSafetyPipe(pl *pipeline) (SafetyResult, error) {
+	sp := obs.StartSpan(pl.rec, "core.RelativeSafety").
 		Tag("paper", "Definition 4.2 via Lemma 4.4")
 	defer sp.End()
-	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
+	trimmed, behaviors, err := pl.limits()
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
@@ -50,35 +56,29 @@ func RelativeSafetyRec(rec obs.Recorder, sys *ts.System, p Property) (SafetyResu
 		// Definition 4.2.
 		return SafetyResult{Holds: true}, nil
 	}
-	pa, err := p.AutomatonRec(rec, sys.Alphabet())
+	preLP, err := pl.preProduct()
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
-	ops := buchi.Ops{Rec: rec}
-	psp := obs.StartSpan(rec, "pre(L∩P)").
-		Int("behavior_states", int64(behaviors.NumStates())).
-		Int("property_states", int64(pa.NumStates()))
-	preLP := ops.PrefixNFA(ops.Intersect(behaviors, pa)).Trim()
-	psp.Int("out_states", int64(preLP.NumStates()))
-	psp.End()
 	if preLP.NumStates() == 0 {
 		// L_ω ∩ P = ∅: its prefix limit is empty and inclusion is trivial.
 		return SafetyResult{Holds: true}, nil
 	}
+	ops := pl.ops
 	limPre, err := ops.LimitOfAllAccepting(preLP)
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
 	lhs := ops.Intersect(behaviors, limPre)
-	notP, err := p.NegationAutomatonRec(rec, sys.Alphabet())
+	notP, err := pl.negation()
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
-	isp := obs.StartSpan(rec, "L ∩ lim(pre(L∩P)) ⊆ P").
+	isp := obs.StartSpan(pl.rec, "L ∩ lim(pre(L∩P)) ⊆ P").
 		Tag("paper", "Lemma 4.4: L ∩ lim(pre(L∩P)) ⊆ P").
 		Int("lhs_states", int64(lhs.NumStates())).
 		Int("negation_states", int64(notP.NumStates()))
-	l, found := ops.AcceptingLasso(ops.Intersect(lhs, notP))
+	l, found := ops.IntersectLasso(lhs, notP)
 	isp.End()
 	if found {
 		return SafetyResult{Holds: false, Violation: l}, nil
@@ -104,25 +104,30 @@ func Satisfies(sys *ts.System, p Property) (SatisfactionResult, error) {
 // SatisfiesRec is Satisfies with the negation construction and the
 // emptiness check of L ∩ ¬P reported to rec.
 func SatisfiesRec(rec obs.Recorder, sys *ts.System, p Property) (SatisfactionResult, error) {
-	sp := obs.StartSpan(rec, "core.Satisfies").
+	return satisfiesPipe(newPipeline(rec, sys, p))
+}
+
+// satisfiesPipe is the Definition 3.2 check over a (possibly shared)
+// pipeline, deciding emptiness of L ∩ ¬P on the fly.
+func satisfiesPipe(pl *pipeline) (SatisfactionResult, error) {
+	sp := obs.StartSpan(pl.rec, "core.Satisfies").
 		Tag("paper", "Definition 3.2: L ⊆ P")
 	defer sp.End()
-	trimmed, behaviors, err := trimmedBehaviors(rec, sys)
+	trimmed, behaviors, err := pl.limits()
 	if err != nil {
 		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
 	}
 	if trimmed == nil {
 		return SatisfactionResult{Holds: true}, nil
 	}
-	notP, err := p.NegationAutomatonRec(rec, sys.Alphabet())
+	notP, err := pl.negation()
 	if err != nil {
 		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
 	}
-	ops := buchi.Ops{Rec: rec}
-	isp := obs.StartSpan(rec, "L ∩ ¬P = ∅").
+	isp := obs.StartSpan(pl.rec, "L ∩ ¬P = ∅").
 		Int("behavior_states", int64(behaviors.NumStates())).
 		Int("negation_states", int64(notP.NumStates()))
-	l, found := ops.AcceptingLasso(ops.Intersect(behaviors, notP))
+	l, found := pl.ops.IntersectLasso(behaviors, notP)
 	isp.End()
 	if found {
 		return SatisfactionResult{Holds: false, Counterexample: l}, nil

@@ -79,7 +79,7 @@ func RelativeSafetyDirect(sys *ts.System, p Property) (SafetyResult, error) {
 	sort.Slice(start.sys, func(i, j int) bool { return start.sys[i] < start.sys[j] })
 	sort.Slice(start.prop, func(i, j int) bool { return start.prop[i] < start.prop[j] })
 	isLive := func(e cfgEntry) bool {
-		return !buchi.Intersect(restart(behaviors, e.sys), restart(pa, e.prop)).IsEmpty()
+		return !buchi.IntersectEmptyFrom(behaviors, pa, e.sys, e.prop)
 	}
 	if !isLive(start) {
 		// No behavior satisfies P at all: every x ∈ L\P has the empty
@@ -117,8 +117,7 @@ func RelativeSafetyDirect(sys *ts.System, p Property) (SafetyResult, error) {
 		}
 	}
 
-	violating := buchi.Intersect(buchi.Intersect(behaviors, notP), live)
-	l, found := violating.AcceptingLasso()
+	l, found := buchi.IntersectLasso(buchi.Intersect(behaviors, notP), live)
 	if found {
 		return SafetyResult{Holds: false, Violation: l}, nil
 	}

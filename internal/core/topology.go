@@ -44,7 +44,7 @@ func ClosedIn(sub, sup, relComplement *buchi.Buchi) (bool, word.Lasso, error) {
 		return false, word.Lasso{}, fmt.Errorf("closedness: %w", err)
 	}
 	limitPoints := buchi.Intersect(sup, limPre)
-	l, found := buchi.Intersect(limitPoints, relComplement).AcceptingLasso()
+	l, found := buchi.IntersectLasso(limitPoints, relComplement)
 	if found {
 		return false, l, nil
 	}

@@ -8,6 +8,44 @@ package graph
 // duplicates; the algorithms tolerate them.
 type Succ func(v int) []int
 
+// CSR is a compressed-sparse-row adjacency list: the successors of
+// vertex v are Dst[Off[v]:Off[v+1]]. It is the compiled form the
+// automata packages hand to the graph algorithms so the inner loops walk
+// flat arrays instead of calling an allocating Succ closure per vertex.
+// Duplicate edges are tolerated.
+type CSR struct {
+	Off []int32
+	Dst []int32
+}
+
+// NumVertices returns the number of vertices of the graph.
+func (g CSR) NumVertices() int { return len(g.Off) - 1 }
+
+// Succ returns the successor slice of v (shared, do not mutate).
+func (g CSR) Succ(v int) []int32 { return g.Dst[g.Off[v]:g.Off[v+1]] }
+
+// Reverse returns the reversed graph, built in O(V+E).
+func (g CSR) Reverse() CSR {
+	n := g.NumVertices()
+	off := make([]int32, n+1)
+	for _, w := range g.Dst {
+		off[w+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	dst := make([]int32, len(g.Dst))
+	next := make([]int32, n)
+	copy(next, off[:n])
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succ(v) {
+			dst[next[w]] = int32(v)
+			next[w]++
+		}
+	}
+	return CSR{Off: off, Dst: dst}
+}
+
 // SCCs returns the strongly connected components of the graph with
 // vertices 0..n-1 in reverse topological order (every edge leaving a
 // component points to a component earlier in the returned slice).
@@ -90,6 +128,86 @@ func SCCs(n int, succ Succ) [][]int {
 	return comps
 }
 
+// SCCsCSR is SCCs over a compiled CSR adjacency: the same iterative
+// Tarjan, but the successor scan walks a flat slice span per vertex with
+// no per-vertex allocation.
+func SCCsCSR(g CSR) [][]int {
+	const unvisited = -1
+	n := g.NumVertices()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		comps   [][]int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		next int32
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: root, next: -1}}
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < 0 {
+				index[f.v] = counter
+				low[f.v] = counter
+				counter++
+				stack = append(stack, f.v)
+				onStack[f.v] = true
+				f.next = 0
+			}
+			succ := g.Succ(f.v)
+			advanced := false
+			for int(f.next) < len(succ) {
+				w := int(succ[f.next])
+				f.next++
+				if index[w] == unvisited {
+					callStack = append(callStack, frame{v: w, next: -1})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
 // ComponentOf returns, for each vertex, the index of its component in the
 // slice returned by SCCs.
 func ComponentOf(n int, comps [][]int) []int {
@@ -128,13 +246,71 @@ func Reachable(n int, sources []int, succ Succ) []bool {
 			queue = append(queue, s)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range succ(v) {
+	for qi := 0; qi < len(queue); qi++ {
+		for _, w := range succ(queue[qi]) {
 			if !seen[w] {
 				seen[w] = true
 				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// IsTrivialSCCCSR is IsTrivialSCC over a CSR adjacency.
+func IsTrivialSCCCSR(comp []int, g CSR) bool {
+	if len(comp) > 1 {
+		return false
+	}
+	v := comp[0]
+	for _, w := range g.Succ(v) {
+		if int(w) == v {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachableCSR is Reachable over a CSR adjacency.
+func ReachableCSR(g CSR, sources []int) []bool {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	for _, s := range sources {
+		if s >= 0 && s < n && !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, w := range g.Succ(queue[qi]) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachableCSR is CoReachable over a CSR adjacency: one O(V+E) reverse
+// pass instead of per-vertex Succ calls.
+func CoReachableCSR(g CSR, targets []bool) []bool {
+	rev := g.Reverse()
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if targets[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, w := range rev.Succ(queue[qi]) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, int(w))
 			}
 		}
 	}
@@ -159,10 +335,8 @@ func CoReachable(n int, targets []bool, succ Succ) []bool {
 			queue = append(queue, v)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range rev[v] {
+	for qi := 0; qi < len(queue); qi++ {
+		for _, w := range rev[queue[qi]] {
 			if !seen[w] {
 				seen[w] = true
 				queue = append(queue, w)
@@ -224,9 +398,8 @@ func ShortestPath(n int, sources []int, succ Succ, goal func(v int) bool) []int 
 			return []int{s}
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		for _, w := range succ(v) {
 			if seen[w] {
 				continue

@@ -150,9 +150,8 @@ func (h *Hom) pairIsSimple(
 	seen := map[ppair]bool{}
 	queue := []ppair{{qi, an.cInit}}
 	seen[queue[0]] = true
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
 		if dImgC.Accepting(p.b) &&
 			an.classes[int(p.b)] == an.classes[an.offset+int(p.c)] {
 			return true, nil

@@ -369,9 +369,8 @@ func (t *tableau) toBuchi(lab *Labeling, untils []*Formula) *buchi.Buchi {
 			}
 		}
 	}
-	for len(queue) > 0 {
-		c := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		c := queue[qi]
 		from := index[c]
 		for _, ri := range succs[c.node] {
 			nc := cfg{node: ri, counter: bump(c.counter, ri)}

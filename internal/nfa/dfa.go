@@ -1,8 +1,6 @@
 package nfa
 
 import (
-	"sort"
-
 	"relive/internal/alphabet"
 	"relive/internal/graph"
 	"relive/internal/word"
@@ -133,83 +131,56 @@ func (d *DFA) ToNFA() *NFA {
 	return a
 }
 
-// Determinize builds a DFA for L(a) by the subset construction over
-// ε-closed state sets. Only reachable subsets are materialized.
+// Determinize builds a DFA for L(a) by the bitset subset construction:
+// ε-transitions are removed first, state sets are []uint64 bitsets
+// interned by content hash, and successor sets are computed by OR-ing
+// CSR rows. Only reachable subsets are materialized; the worklist is an
+// index cursor, not a slice-retaining pop.
 func (a *NFA) Determinize() *DFA {
 	d := NewDFA(a.ab)
-	start := a.EpsilonClosure(a.initial)
-	if len(start) == 0 {
+	e := a
+	if a.HasEpsilon() {
+		e = a.RemoveEpsilon()
+	}
+	if len(e.initial) == 0 {
 		return d
 	}
-	index := map[string]State{}
-	var sets [][]State
+	c := e.Compiled()
+	n := e.NumStates()
+	syms := e.ab.Symbols()
 
-	intern := func(set []State) (State, bool) {
-		k := setKey(set)
-		if s, ok := index[k]; ok {
-			return s, false
+	accepting := newStateBits(n)
+	for i, acc := range e.accepting {
+		if acc {
+			accepting.set(int32(i))
 		}
-		acc := false
-		for _, q := range set {
-			if a.accepting[q] {
-				acc = true
-				break
-			}
-		}
-		s := d.AddState(acc)
-		index[k] = s
-		sets = append(sets, set)
-		return s, true
 	}
 
-	s0, _ := intern(start)
-	d.SetInitial(s0)
-	queue := []State{s0}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		set := sets[cur]
-		// Collect the symbols with outgoing transitions from the set.
-		symSeen := map[alphabet.Symbol]bool{}
-		for _, q := range set {
-			for sym := range a.trans[q] {
-				if sym != alphabet.Epsilon {
-					symSeen[sym] = true
-				}
-			}
-		}
-		syms := make([]alphabet.Symbol, 0, len(symSeen))
-		for sym := range symSeen {
-			syms = append(syms, sym)
-		}
-		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	in := newSetInterner(n)
+	cur := newStateBits(n)  // scratch: the set being expanded
+	next := newStateBits(n) // scratch: its successor under one symbol
+	for _, s := range e.initial {
+		cur.set(int32(s))
+	}
+	in.intern(cur)
+	d.SetInitial(d.AddState(cur.intersects(accepting)))
+
+	for qi := int32(0); qi < in.count; qi++ {
+		copy(cur, in.at(qi)) // in.at aliases the backing store; intern below may grow it
 		for _, sym := range syms {
-			next := a.Step(set, sym)
-			if len(next) == 0 {
+			next.clear()
+			c.step(cur, next, sym)
+			if next.empty() {
 				continue
 			}
-			t, fresh := intern(next)
-			d.SetTransition(cur, sym, t)
+			t, fresh := in.intern(next)
 			if fresh {
-				queue = append(queue, t)
+				d.AddState(next.intersects(accepting))
 			}
+			d.SetTransition(State(qi), sym, State(t))
 		}
 	}
 	return d
-}
-
-// setKey encodes a sorted state set as a map key.
-func setKey(set []State) string {
-	b := make([]byte, 0, len(set)*3)
-	for _, s := range set {
-		v := uint(s)
-		for v >= 0x80 {
-			b = append(b, byte(v)|0x80)
-			v >>= 7
-		}
-		b = append(b, byte(v))
-	}
-	return string(b)
 }
 
 // Complete returns an equivalent complete DFA: every state has a

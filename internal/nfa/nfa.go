@@ -30,6 +30,9 @@ type NFA struct {
 	initial   []State
 	accepting []bool
 	trans     []map[alphabet.Symbol][]State
+	// csr is the lazily built compiled form (see Compiled); it is
+	// invalidated whenever a state or transition is added.
+	csr *Compiled
 }
 
 // New returns an empty NFA over ab with no states.
@@ -73,6 +76,7 @@ func (a *NFA) AddState(accepting bool) State {
 	s := State(len(a.accepting))
 	a.accepting = append(a.accepting, accepting)
 	a.trans = append(a.trans, nil)
+	a.csr = nil
 	return s
 }
 
@@ -110,6 +114,7 @@ func (a *NFA) AddTransition(from State, sym alphabet.Symbol, to State) {
 		}
 	}
 	m[sym] = append(m[sym], to)
+	a.csr = nil
 }
 
 // Succ returns the successors of s under sym (no ε-closure applied).
@@ -127,13 +132,15 @@ func (a *NFA) HasEpsilon() bool {
 	return false
 }
 
-// Clone returns a deep copy sharing the alphabet.
+// Clone returns a deep copy sharing the alphabet (and the immutable
+// compiled form, when one has been built).
 func (a *NFA) Clone() *NFA {
 	c := &NFA{
 		ab:        a.ab,
 		initial:   append([]State(nil), a.initial...),
 		accepting: append([]bool(nil), a.accepting...),
 		trans:     make([]map[alphabet.Symbol][]State, len(a.trans)),
+		csr:       a.csr,
 	}
 	for i, m := range a.trans {
 		if m == nil {
@@ -235,19 +242,6 @@ func (a *NFA) ResidualFrom(set []State) *NFA {
 	return c
 }
 
-// succFunc adapts the transition relation (including ε) to graph.Succ.
-func (a *NFA) succFunc() graph.Succ {
-	return func(v int) []int {
-		var out []int
-		for _, ts := range a.trans[v] {
-			for _, t := range ts {
-				out = append(out, int(t))
-			}
-		}
-		return out
-	}
-}
-
 // initialInts converts the initial states to ints for the graph package.
 func (a *NFA) initialInts() []int {
 	out := make([]int, len(a.initial))
@@ -263,12 +257,13 @@ func (a *NFA) initialInts() []int {
 // language is empty.
 func (a *NFA) Trim() *NFA {
 	n := a.NumStates()
-	reach := graph.Reachable(n, a.initialInts(), a.succFunc())
+	g := a.Compiled().Graph()
+	reach := graph.ReachableCSR(g, a.initialInts())
 	acc := make([]bool, n)
 	for i, ok := range a.accepting {
 		acc[i] = ok
 	}
-	coreach := graph.CoReachable(n, acc, a.succFunc())
+	coreach := graph.CoReachableCSR(g, acc)
 	keep := make([]State, n)
 	for i := range keep {
 		keep[i] = -1
@@ -302,7 +297,7 @@ func (a *NFA) Trim() *NFA {
 // IsEmpty reports whether the language is empty.
 func (a *NFA) IsEmpty() bool {
 	n := a.NumStates()
-	reach := graph.Reachable(n, a.initialInts(), a.succFunc())
+	reach := graph.ReachableCSR(a.Compiled().Graph(), a.initialInts())
 	for i := 0; i < n; i++ {
 		if reach[i] && a.accepting[i] {
 			return false

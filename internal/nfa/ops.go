@@ -29,9 +29,8 @@ func Intersect(a, b *NFA) *NFA {
 			out.SetInitial(intern(pair{x, y}))
 		}
 	}
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
 		from := index[p]
 		for sym, xs := range ae.trans[p.x] {
 			ys := be.trans[p.y][sym]
@@ -67,13 +66,63 @@ func Union(a, b *NFA) *NFA {
 
 // Included reports whether L(a) ⊆ L(b). When the inclusion fails, it
 // returns a shortest word in L(a) \ L(b) as a counterexample.
+//
+// The check runs the subset construction of b on the fly: the BFS
+// explores pairs of an a-state and an interned bitset of b-states,
+// determinizing only the part of b that the product actually reaches. A
+// pair whose a-state accepts while its b-set contains no accepting
+// state witnesses the failure; the empty b-set is an ordinary interned
+// set, playing the role of the complete complement DFA's sink.
 func Included(a, b *NFA) (bool, word.Word) {
-	bd := b.Determinize().Complement() // complete DFA for the complement of L(b)
 	ae := a.RemoveEpsilon()
+	be := b.RemoveEpsilon()
+	ca, cb := ae.Compiled(), be.Compiled()
+	nb := be.NumStates()
+	syms := ae.ab.Symbols()
+	numSyms := len(syms)
+
+	accB := newStateBits(nb)
+	for i, acc := range be.accepting {
+		if acc {
+			accB.set(int32(i))
+		}
+	}
+
+	in := newSetInterner(nb)
+	scratch := newStateBits(nb)
+	var setAcc []bool   // per interned set: does it contain an accepting b-state?
+	var delta []int32   // memoized subset moves, delta[set*numSyms+sym-1]; -1 = not yet computed
+	addSet := func(set stateBits) int32 {
+		id, fresh := in.intern(set)
+		if fresh {
+			setAcc = append(setAcc, set.intersects(accB))
+			for i := 0; i < numSyms; i++ {
+				delta = append(delta, -1)
+			}
+		}
+		return id
+	}
+	stepSet := func(set int32, sym alphabet.Symbol) int32 {
+		k := int(set)*numSyms + int(sym) - 1
+		if delta[k] >= 0 {
+			return delta[k]
+		}
+		scratch.clear()
+		cb.step(in.at(set), scratch, sym)
+		id := addSet(scratch)
+		delta[k] = id
+		return id
+	}
+
+	start := newStateBits(nb)
+	for _, s := range be.initial {
+		start.set(int32(s))
+	}
+	startID := addSet(start)
 
 	type pair struct {
-		x State // NFA state of a
-		y State // DFA state of complement(b)
+		x   State
+		set int32
 	}
 	type entry struct {
 		p      pair
@@ -89,11 +138,11 @@ func Included(a, b *NFA) (bool, word.Word) {
 		}
 	}
 	for _, x := range ae.initial {
-		push(pair{x, bd.Initial()}, -1, alphabet.Epsilon)
+		push(pair{x, startID}, -1, alphabet.Epsilon)
 	}
 	for i := 0; i < len(queue); i++ {
 		cur := queue[i]
-		if ae.accepting[cur.p.x] && bd.Accepting(cur.p.y) {
+		if ae.accepting[cur.p.x] && !setAcc[cur.p.set] {
 			var w word.Word
 			for j := i; queue[j].parent != -1; j = queue[j].parent {
 				w = append(w, queue[j].sym)
@@ -103,13 +152,14 @@ func Included(a, b *NFA) (bool, word.Word) {
 			}
 			return false, w
 		}
-		for sym, xs := range ae.trans[cur.p.x] {
-			y, ok := bd.Delta(cur.p.y, sym)
-			if !ok {
-				continue // complement DFA is complete; cannot happen
+		for _, sym := range syms {
+			xs := ca.Row(cur.p.x, sym)
+			if len(xs) == 0 {
+				continue
 			}
+			set := stepSet(cur.p.set, sym)
 			for _, x := range xs {
-				push(pair{x, y}, i, sym)
+				push(pair{State(x), set}, i, sym)
 			}
 		}
 	}
@@ -144,9 +194,8 @@ func EquivalentDFA(a, b *DFA) bool {
 	queue := []pair{{ac.Initial(), bc.Initial()}}
 	seen[queue[0]] = true
 	syms := a.ab.Symbols()
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
 		if ac.Accepting(p.x) != bc.Accepting(p.y) {
 			return false
 		}

@@ -157,12 +157,11 @@ func (n *Net) ReachabilityGraph(maxStates int) (*ts.System, error) {
 	}
 	init, _ := intern(n.InitialMarking())
 	sys.SetInitial(init)
-	for len(queue) > 0 {
+	for qi := 0; qi < len(queue); qi++ {
 		if len(seen) > maxStates {
 			return nil, fmt.Errorf("petri: reachability graph exceeds %d markings", maxStates)
 		}
-		m := queue[0]
-		queue = queue[1:]
+		m := queue[qi]
 		from := seen[m.key()]
 		for _, t := range n.trans {
 			if !n.Enabled(t, m) {

@@ -308,9 +308,8 @@ func Product(a, b *System) (*System, error) {
 	}
 	init := intern(pair{a.initial, b.initial})
 	out.SetInitial(init)
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
 		from := index[p]
 		// Moves of a: private actions of a, or shared with b able to match.
 		for symA, ts := range a.trans[p.x] {
