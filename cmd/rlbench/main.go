@@ -8,6 +8,12 @@
 //	rlbench -run E5                  # run one experiment
 //	rlbench -md                      # emit Markdown instead of plain text
 //	rlbench -metrics-json BENCH.json # also write per-case metrics JSON
+//	rlbench -parallel 4              # run experiments on 4 workers
+//
+// -parallel runs independent experiments concurrently on a bounded
+// worker pool (0 = GOMAXPROCS, 1 = serial); reports are printed in
+// registry order either way, and per-experiment durations still measure
+// each experiment's own wall clock.
 //
 // -metrics-json writes one record per experiment with its wall-clock
 // duration and every observation (automaton sizes included), so
@@ -21,7 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"relive/internal/exp"
@@ -58,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	metricsJSON := fs.String("metrics-json", "", "write per-case metrics (durations, sizes) as JSON to this file (- for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	parallel := fs.Int("parallel", 1, "worker-pool size for running experiments concurrently (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,27 +86,60 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	var results []exp.Result
-	var metrics []caseMetrics
-	found := false
+	var selected []exp.Experiment
 	for _, e := range exp.All() {
 		if *only != "" && e.ID != *only {
 			continue
 		}
-		found = true
-		start := time.Now()
-		r, err := e.Run()
-		elapsed := time.Since(start)
-		if err != nil {
-			fmt.Fprintf(stderr, "rlbench: %s: %v\n", e.ID, err)
-			return 2
-		}
-		results = append(results, r)
-		metrics = append(metrics, toMetrics(r, elapsed))
+		selected = append(selected, e)
 	}
-	if !found {
+	if len(selected) == 0 {
 		fmt.Fprintf(stderr, "rlbench: unknown experiment %q\n", *only)
 		return 2
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	results := make([]exp.Result, len(selected))
+	elapsed := make([]time.Duration, len(selected))
+	errs := make([]error, len(selected))
+	if workers <= 1 {
+		for i, e := range selected {
+			start := time.Now()
+			results[i], errs[i] = e.Run()
+			elapsed[i] = time.Since(start)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					start := time.Now()
+					results[i], errs[i] = selected[i].Run()
+					elapsed[i] = time.Since(start)
+				}
+			}()
+		}
+		for i := range selected {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	var metrics []caseMetrics
+	for i, e := range selected {
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "rlbench: %s: %v\n", e.ID, errs[i])
+			return 2
+		}
+		metrics = append(metrics, toMetrics(results[i], elapsed[i]))
 	}
 	if *metricsJSON != "" {
 		if err := writeMetrics(metrics, *metricsJSON, stdout); err != nil {

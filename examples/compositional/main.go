@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,7 +17,10 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	parallel := flag.Bool("parallel", false,
+		"compose the farm with the frontier-parallel product and check every worker's response property as a portfolio")
+	flag.Parse()
+	if err := run(*parallel); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -30,7 +34,7 @@ done%[1]d res%[1]d idle%[1]d
 `, i))
 }
 
-func run() error {
+func run(parallel bool) error {
 	fmt.Println("n  concrete  abstract  simple  abstract-verdict  conclusion            time")
 	for n := 1; n <= 5; n++ {
 		farm, err := worker(0)
@@ -42,7 +46,11 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			farm, err = relive.ProductSystem(farm, w)
+			if parallel {
+				farm, err = relive.ProductSystemParallel(farm, w, 0)
+			} else {
+				farm, err = relive.ProductSystem(farm, w)
+			}
 			if err != nil {
 				return err
 			}
@@ -58,6 +66,32 @@ func run() error {
 		fmt.Printf("%d  %8d  %8d  %-6v  %-16v  %-20s  %v\n",
 			n, farm.NumStates(), report.Abstract.NumStates(),
 			report.Simple, report.AbstractHolds, report.Conclusion, elapsed.Round(time.Microsecond))
+
+		if parallel {
+			// Check every worker's own response property against the
+			// concrete farm as one portfolio batch: the pool shares the
+			// trimmed farm and its behavior automaton across all n
+			// properties.
+			chk := relive.With(relive.WithParallelism(0))
+			var props []relive.Property
+			for i := 0; i < n; i++ {
+				f := relive.MustParseLTL(fmt.Sprintf("G (req%d -> F res%d)", i, i))
+				props = append(props, relive.PropertyFromLTL(f, nil))
+			}
+			pstart := time.Now()
+			reports, err := chk.CheckPropertyPortfolio(farm, props)
+			if err != nil {
+				return err
+			}
+			holds := 0
+			for _, r := range reports {
+				if r.RelativeLiveness {
+					holds++
+				}
+			}
+			fmt.Printf("   portfolio: %d/%d per-worker response properties are relative liveness properties (%d workers, %v)\n",
+				holds, n, chk.Parallelism(), time.Since(pstart).Round(time.Microsecond))
+		}
 	}
 	fmt.Println()
 	fmt.Println("The abstract system stays constant-size while the concrete product")

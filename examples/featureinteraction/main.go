@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -46,12 +47,15 @@ recording record idle
 `
 
 func main() {
-	if err := run(); err != nil {
+	parallel := flag.Bool("parallel", false,
+		"check the per-variant property portfolio on a GOMAXPROCS worker pool (relive.WithParallelism)")
+	flag.Parse()
+	if err := run(*parallel); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(parallel bool) error {
 	eta := relive.MustParseLTL("G (call -> F (answer | fwdanswer | record))")
 	for _, variant := range []struct {
 		name string
@@ -88,6 +92,36 @@ func run() error {
 			fmt.Printf("  (stuck after %s)", direct.BadPrefix.String(sys.Alphabet()))
 		}
 		fmt.Println()
+
+		if parallel {
+			// Check a portfolio of service guarantees in one batch: the
+			// worker pool shares the trimmed system and its behavior
+			// automaton across all properties, and each property's three
+			// verdicts come back exactly as a serial CheckAll would
+			// report them.
+			portfolio := []struct {
+				name    string
+				formula string
+			}{
+				{"every call handled", ""}, // the eta property, set below
+				{"contention resolved", "G (busy -> F (forward | voicemail))"},
+				{"forwarded calls answered", "G (forward -> F fwdanswer)"},
+			}
+			props := []relive.Property{p}
+			for _, entry := range portfolio[1:] {
+				props = append(props, relive.PropertyFromLTL(relive.MustParseLTL(entry.formula), nil))
+			}
+			chk := relive.With(relive.WithParallelism(0))
+			reports, err := chk.CheckPropertyPortfolio(sys, props)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  portfolio (%d properties, %d workers):\n", len(props), chk.Parallelism())
+			for i, r := range reports {
+				fmt.Printf("    %-26s satisfied=%-5v rel-liveness=%-5v rel-safety=%v\n",
+					portfolio[i].name, r.Satisfied, r.RelativeLiveness, r.RelativeSafety)
+			}
+		}
 		fmt.Println()
 	}
 	fmt.Println("The misintegrated switch abstracts to the same observable behavior,")

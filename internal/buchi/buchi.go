@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"relive/internal/alphabet"
 	"relive/internal/graph"
@@ -29,8 +30,11 @@ type Buchi struct {
 	accepting []bool
 	trans     []map[alphabet.Symbol][]State
 	// csr is the lazily built compiled form (see compiled.go); it is
-	// invalidated whenever a state or transition is added.
-	csr *compiled
+	// invalidated whenever a state or transition is added. The atomic
+	// pointer makes the lazy build safe under concurrent readers (the
+	// parallel decision procedures share automata across goroutines);
+	// mutating an automaton concurrently with reads remains unsupported.
+	csr atomic.Pointer[compiled]
 }
 
 // New returns an empty Büchi automaton over ab.
@@ -72,7 +76,7 @@ func (b *Buchi) AddState(accepting bool) State {
 	s := State(len(b.accepting))
 	b.accepting = append(b.accepting, accepting)
 	b.trans = append(b.trans, nil)
-	b.csr = nil
+	b.csr.Store(nil)
 	return s
 }
 
@@ -104,7 +108,7 @@ func (b *Buchi) AddTransition(from State, sym alphabet.Symbol, to State) {
 		}
 	}
 	m[sym] = append(m[sym], to)
-	b.csr = nil
+	b.csr.Store(nil)
 }
 
 // addEdge appends from --sym--> to without the duplicate scan. It is
@@ -117,7 +121,7 @@ func (b *Buchi) addEdge(from State, sym alphabet.Symbol, to State) {
 		b.trans[from] = m
 	}
 	m[sym] = append(m[sym], to)
-	b.csr = nil
+	b.csr.Store(nil)
 }
 
 // Succ returns the successors of s under sym.
@@ -131,8 +135,8 @@ func (b *Buchi) Clone() *Buchi {
 		initial:   append([]State(nil), b.initial...),
 		accepting: append([]bool(nil), b.accepting...),
 		trans:     make([]map[alphabet.Symbol][]State, len(b.trans)),
-		csr:       b.csr,
 	}
+	c.csr.Store(b.csr.Load())
 	for i, m := range b.trans {
 		if m == nil {
 			continue

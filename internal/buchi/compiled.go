@@ -56,12 +56,17 @@ func compile(b *Buchi) *compiled {
 
 // compiled returns the cached CSR form, building it on first use. The
 // shape checks guard against a stale cache: shared alphabets may grow
-// after the automaton was compiled.
+// after the automaton was compiled. The load/compile/store sequence is
+// safe under concurrent readers: compile only reads the automaton, two
+// racing compiles produce identical values, and the atomic store
+// publishes a fully built form; whichever store lands last wins.
 func (b *Buchi) compiled() *compiled {
-	if b.csr == nil || b.csr.n != len(b.accepting) || b.csr.syms != b.ab.Size() {
-		b.csr = compile(b)
+	if c := b.csr.Load(); c != nil && c.n == len(b.accepting) && c.syms == b.ab.Size() {
+		return c
 	}
-	return b.csr
+	c := compile(b)
+	b.csr.Store(c)
+	return c
 }
 
 // row returns the successors of s under sym as a shared int32 slice.

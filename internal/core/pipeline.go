@@ -1,76 +1,145 @@
 package core
 
 import (
+	"sync"
+
+	"relive/internal/alphabet"
 	"relive/internal/buchi"
 	"relive/internal/nfa"
 	"relive/internal/obs"
 	"relive/internal/ts"
 )
 
-// pipeline memoizes the artifacts the Section 4 decision procedures
-// share for one (system, property) pair: the trimmed system and its
-// behavior automaton lim(L), the property automaton P, its negation ¬P,
-// and the reduced product L ∩ P together with its prefix language
-// pre(L∩P). CheckAll runs satisfaction, relative liveness and relative
-// safety over one pipeline, so each artifact — previously rebuilt by
-// every procedure — is constructed exactly once per check. The
-// instrumentation spans ("lim(L)", "P→Büchi", "¬P", "pre(L∩P)") are
-// emitted by whichever procedure computes the artifact first.
+// limitsCell is the single-flight memo for the trimmed system and its
+// behavior automaton lim(L). It is shared by every pipeline checking
+// the same system, so a property portfolio trims the system and builds
+// lim(L) exactly once regardless of how many workers race into it.
+type limitsCell struct {
+	sys *ts.System
+
+	once      sync.Once
+	trimmed   *ts.System // nil (with nil error): no infinite behavior
+	behaviors *buchi.Buchi
+	err       error
+}
+
+func newLimitsCell(sys *ts.System) *limitsCell {
+	return &limitsCell{sys: sys}
+}
+
+func (c *limitsCell) get(rec obs.Recorder) (*ts.System, *buchi.Buchi, error) {
+	c.once.Do(func() {
+		c.trimmed, c.behaviors, c.err = trimmedBehaviors(rec, c.sys)
+	})
+	return c.trimmed, c.behaviors, c.err
+}
+
+// propCell is the single-flight memo for the property automaton P and
+// its negation ¬P over one alphabet. A systems-side portfolio checking
+// one property against many same-alphabet systems shares a single
+// propCell, so the (potentially exponential) translations run once.
+type propCell struct {
+	p  Property
+	ab *alphabet.Alphabet
+
+	paOnce sync.Once
+	pa     *buchi.Buchi
+	paErr  error
+
+	notPOnce sync.Once
+	notP     *buchi.Buchi
+	notPErr  error
+}
+
+func (c *propCell) automaton(rec obs.Recorder) (*buchi.Buchi, error) {
+	c.paOnce.Do(func() {
+		c.pa, c.paErr = c.p.AutomatonRec(rec, c.ab)
+	})
+	return c.pa, c.paErr
+}
+
+func (c *propCell) negation(rec obs.Recorder) (*buchi.Buchi, error) {
+	c.notPOnce.Do(func() {
+		c.notP, c.notPErr = c.p.NegationAutomatonRec(rec, c.ab)
+	})
+	return c.notP, c.notPErr
+}
+
+// shared holds the single-flight artifact cells one (system, property)
+// check fans out over: lim(L), P→Büchi, ¬P, and pre(L∩P). Each cell is
+// built exactly once no matter which goroutine arrives first; the
+// instrumentation span for an artifact is emitted by (and attributed
+// to) whichever goroutine wins the race to build it.
+type shared struct {
+	sys  *ts.System
+	lim  *limitsCell
+	prop *propCell
+
+	prodOnce sync.Once
+	preLP    *nfa.NFA // pre(L∩P): trim(PrefixNFA(behaviors ∩ P))
+	prodErr  error
+}
+
+// pipeline is one goroutine's view of a shared artifact set: the
+// single-flight cells plus the recorder this goroutine's spans go to.
+// The Section 4 decision procedures (satisfaction, relative liveness,
+// relative safety) each take a pipeline; CheckAll hands all three the
+// same shared cells so each artifact — previously rebuilt by every
+// procedure — is constructed exactly once per check, even when the
+// three verdicts run concurrently.
 type pipeline struct {
 	rec obs.Recorder
 	sys *ts.System
 	p   Property
 	ops buchi.Ops
-
-	trimDone  bool
-	trimmed   *ts.System // nil (with nil error): no infinite behavior
-	behaviors *buchi.Buchi
-	trimErr   error
-
-	paDone bool
-	pa     *buchi.Buchi
-	paErr  error
-
-	notPDone bool
-	notP     *buchi.Buchi
-	notPErr  error
-
-	prodDone bool
-	preLP    *nfa.NFA // pre(L∩P): trim(PrefixNFA(behaviors ∩ P))
-	prodErr  error
+	sh  *shared
 }
 
 func newPipeline(rec obs.Recorder, sys *ts.System, p Property) *pipeline {
-	return &pipeline{rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec}}
+	sh := &shared{
+		sys:  sys,
+		lim:  newLimitsCell(sys),
+		prop: &propCell{p: p, ab: sys.Alphabet()},
+	}
+	return &pipeline{rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec}, sh: sh}
+}
+
+// newPipelineSharing builds a pipeline over pre-existing cells. Portfolio
+// checks use it to share lim(L) across properties (lim non-nil) or the
+// property automata across systems (prop non-nil); nil cells are created
+// fresh.
+func newPipelineSharing(rec obs.Recorder, sys *ts.System, p Property, lim *limitsCell, prop *propCell) *pipeline {
+	if lim == nil {
+		lim = newLimitsCell(sys)
+	}
+	if prop == nil {
+		prop = &propCell{p: p, ab: sys.Alphabet()}
+	}
+	return &pipeline{rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec}, sh: &shared{sys: sys, lim: lim, prop: prop}}
+}
+
+// view returns a pipeline over the same shared cells whose spans are
+// reported to rec instead. CheckAll's parallel mode gives each verdict
+// goroutine its own per-worker view.
+func (pl *pipeline) view(rec obs.Recorder) *pipeline {
+	return &pipeline{rec: rec, sys: pl.sys, p: pl.p, ops: buchi.Ops{Rec: rec}, sh: pl.sh}
 }
 
 // limits returns the trimmed system and its behavior automaton lim(L).
 // A nil trimmed system (with nil error) signals the vacuous case: sys
 // has no infinite behavior at all.
 func (pl *pipeline) limits() (*ts.System, *buchi.Buchi, error) {
-	if !pl.trimDone {
-		pl.trimDone = true
-		pl.trimmed, pl.behaviors, pl.trimErr = trimmedBehaviors(pl.rec, pl.sys)
-	}
-	return pl.trimmed, pl.behaviors, pl.trimErr
+	return pl.sh.lim.get(pl.rec)
 }
 
 // property returns the Büchi automaton for P.
 func (pl *pipeline) property() (*buchi.Buchi, error) {
-	if !pl.paDone {
-		pl.paDone = true
-		pl.pa, pl.paErr = pl.p.AutomatonRec(pl.rec, pl.sys.Alphabet())
-	}
-	return pl.pa, pl.paErr
+	return pl.sh.prop.automaton(pl.rec)
 }
 
 // negation returns the Büchi automaton for ¬P.
 func (pl *pipeline) negation() (*buchi.Buchi, error) {
-	if !pl.notPDone {
-		pl.notPDone = true
-		pl.notP, pl.notPErr = pl.p.NegationAutomatonRec(pl.rec, pl.sys.Alphabet())
-	}
-	return pl.notP, pl.notPErr
+	return pl.sh.prop.negation(pl.rec)
 }
 
 // preProduct returns pre(L∩P), the prefix language of the reduced
@@ -79,25 +148,23 @@ func (pl *pipeline) negation() (*buchi.Buchi, error) {
 // states exactly when L_ω ∩ P = ∅. Must not be called in the vacuous
 // case (nil trimmed system).
 func (pl *pipeline) preProduct() (*nfa.NFA, error) {
-	if pl.prodDone {
-		return pl.preLP, pl.prodErr
-	}
-	pl.prodDone = true
-	_, behaviors, err := pl.limits()
-	if err != nil {
-		pl.prodErr = err
-		return nil, err
-	}
-	pa, err := pl.property()
-	if err != nil {
-		pl.prodErr = err
-		return nil, err
-	}
-	psp := obs.StartSpan(pl.rec, "pre(L∩P)").
-		Int("behavior_states", int64(behaviors.NumStates())).
-		Int("property_states", int64(pa.NumStates()))
-	pl.preLP = pl.ops.PrefixNFA(pl.ops.Intersect(behaviors, pa)).Trim()
-	psp.Int("out_states", int64(pl.preLP.NumStates()))
-	psp.End()
-	return pl.preLP, nil
+	pl.sh.prodOnce.Do(func() {
+		_, behaviors, err := pl.limits()
+		if err != nil {
+			pl.sh.prodErr = err
+			return
+		}
+		pa, err := pl.property()
+		if err != nil {
+			pl.sh.prodErr = err
+			return
+		}
+		psp := obs.StartSpan(pl.rec, "pre(L∩P)").
+			Int("behavior_states", int64(behaviors.NumStates())).
+			Int("property_states", int64(pa.NumStates()))
+		pl.sh.preLP = pl.ops.PrefixNFA(pl.ops.Intersect(behaviors, pa)).Trim()
+		psp.Int("out_states", int64(pl.sh.preLP.NumStates()))
+		psp.End()
+	})
+	return pl.sh.preLP, pl.sh.prodErr
 }

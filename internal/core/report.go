@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"relive/internal/obs"
 	"relive/internal/ts"
@@ -42,7 +43,70 @@ func CheckAllRec(rec obs.Recorder, sys *ts.System, p Property) (*Report, error) 
 	sp := obs.StartSpan(rec, "core.CheckAll").
 		Tag("paper", "Section 4 (cross-checked via Theorem 4.7)")
 	defer sp.End()
+	return checkAllPipe(newPipeline(rec, sys, p))
+}
+
+// CheckAllPar is CheckAllParRec with recording off.
+func CheckAllPar(sys *ts.System, p Property, workers int) (*Report, error) {
+	return CheckAllParRec(nil, sys, p, workers)
+}
+
+// CheckAllParRec runs the three Section 4 decision procedures
+// concurrently, one goroutine per verdict, over one shared
+// single-flight pipeline: whichever goroutine needs lim(L), P→Büchi,
+// ¬P, or pre(L∩P) first builds it, the others block on the sync.Once
+// and reuse it. Verdicts and witnesses are identical to CheckAllRec —
+// every artifact and every witness search is deterministic, and
+// single-flight construction makes the artifact values independent of
+// goroutine arrival order. Spans are attributed per goroutine:
+// each verdict runs under a forked per-worker recorder (obs.ForkWorker)
+// whose top-level spans carry a "worker" tag and parent under the
+// "core.CheckAll" root. workers <= 1 falls back to the serial path.
+func CheckAllParRec(rec obs.Recorder, sys *ts.System, p Property, workers int) (*Report, error) {
+	if workers <= 1 {
+		return CheckAllRec(rec, sys, p)
+	}
+	sp := obs.StartSpan(rec, "core.CheckAll").
+		Tag("paper", "Section 4 (cross-checked via Theorem 4.7)").
+		Tag("mode", "parallel")
+	defer sp.End()
 	pl := newPipeline(rec, sys, p)
+
+	var (
+		wg  sync.WaitGroup
+		sat SatisfactionResult
+		rl  LivenessResult
+		rs  SafetyResult
+		errs [3]error
+	)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		view := pl.view(obs.ForkWorker(rec, "satisfies", sp.ID()))
+		sat, errs[0] = satisfiesPipe(view)
+	}()
+	go func() {
+		defer wg.Done()
+		view := pl.view(obs.ForkWorker(rec, "rel-liveness", sp.ID()))
+		rl, errs[1] = relativeLivenessPipe(view)
+	}()
+	go func() {
+		defer wg.Done()
+		view := pl.view(obs.ForkWorker(rec, "rel-safety", sp.ID()))
+		rs, errs[2] = relativeSafetyPipe(view)
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return assembleReport(sys, p, sat, rl, rs)
+}
+
+// checkAllPipe runs the three verdicts serially over pl and assembles
+// the report. CheckAllRec and the portfolio workers share it.
+func checkAllPipe(pl *pipeline) (*Report, error) {
 	sat, err := satisfiesPipe(pl)
 	if err != nil {
 		return nil, err
@@ -55,6 +119,12 @@ func CheckAllRec(rec obs.Recorder, sys *ts.System, p Property) (*Report, error) 
 	if err != nil {
 		return nil, err
 	}
+	return assembleReport(pl.sys, pl.p, sat, rl, rs)
+}
+
+// assembleReport cross-checks Theorem 4.7 and renders the three results
+// as one Report with action-name witnesses.
+func assembleReport(sys *ts.System, p Property, sat SatisfactionResult, rl LivenessResult, rs SafetyResult) (*Report, error) {
 	if sat.Holds != (rl.Holds && rs.Holds) {
 		return nil, fmt.Errorf(
 			"core: internal inconsistency (Theorem 4.7): satisfied=%v, RL=%v, RS=%v",

@@ -94,15 +94,17 @@ func claimBool(name string, got, want bool, paperClaim string) Observation {
 // Runner executes an experiment.
 type Runner func() (Result, error)
 
-// All returns the registry of experiments in order.
-func All() []struct {
+// Experiment is one registry entry: an id and its runner. Experiments
+// are self-contained (each builds its own nets, systems, and alphabets)
+// and safe to run concurrently (rlbench -parallel).
+type Experiment struct {
 	ID  string
 	Run Runner
-} {
-	reg := []struct {
-		ID  string
-		Run Runner
-	}{
+}
+
+// All returns the registry of experiments in order.
+func All() []Experiment {
+	reg := []Experiment{
 		{"E1", E1Fig1Reachability},
 		{"E2", E2Fig2RelativeLiveness},
 		{"E3", E3Fig3NotRelativeLiveness},

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFrontier runs a level-synchronized ("frontier-parallel")
+// breadth-first expansion with deterministic merge order. It alternates
+// two phases per level:
+//
+//   - expand: workers claim frontier items off an atomic cursor and
+//     compute each item's successor records into per-worker buffers
+//     (one append-only arena per worker, so the hot loop shares no
+//     memory with other workers). expand must be a pure function of the
+//     item: it may read shared immutable structures but not write them.
+//   - absorb: the merge runs serially over the frontier in item order
+//     and sees each item's successor records exactly as expand emitted
+//     them. absorb does the interning/numbering and pushes newly
+//     discovered items onto the next frontier.
+//
+// Because every level of the frontier is a contiguous run of the
+// breadth-first queue, visiting level k's successors in (item order,
+// emission order) reproduces exactly the discovery order of the serial
+// loop `for qi := 0; qi < len(queue); qi++`. Callers that expand in a
+// deterministic order therefore get bit-identical numbering to a serial
+// BFS, regardless of the worker count or goroutine scheduling.
+//
+// A non-nil error from absorb aborts the whole expansion. workers <= 1
+// (or a single-item frontier) expands serially on the calling
+// goroutine, still level by level.
+func ParallelFrontier[T, S any](roots []T, workers int,
+	expand func(item T, buf []S) []S,
+	absorb func(item T, succs []S, push func(T)) error,
+) error {
+	frontier := append([]T(nil), roots...)
+	var next []T
+	push := func(t T) { next = append(next, t) }
+	if workers < 1 {
+		workers = 1
+	}
+	arenas := make([][]S, workers)
+	var serialBuf []S
+	for len(frontier) > 0 {
+		next = next[:0]
+		if workers == 1 || len(frontier) == 1 {
+			for _, it := range frontier {
+				serialBuf = expand(it, serialBuf[:0])
+				if err := absorb(it, serialBuf, push); err != nil {
+					return err
+				}
+			}
+		} else {
+			// expand phase: workers claim items; bounds[i] records the
+			// slice of its owner's arena holding item i's successors.
+			owner := make([]int32, len(frontier))
+			bounds := make([][2]int32, len(frontier))
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					arena := arenas[w][:0]
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(frontier) {
+							break
+						}
+						lo := len(arena)
+						arena = expand(frontier[i], arena)
+						owner[i] = int32(w)
+						bounds[i] = [2]int32{int32(lo), int32(len(arena))}
+					}
+					arenas[w] = arena
+				}(w)
+			}
+			wg.Wait()
+			// absorb phase: serial, in frontier order.
+			for i, it := range frontier {
+				arena := arenas[owner[i]]
+				if err := absorb(it, arena[bounds[i][0]:bounds[i][1]], push); err != nil {
+					return err
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return nil
+}
+
+// VisitedShards is a sharded visited set for frontier-parallel
+// construction: lookups hash to one of 64 shards, each with its own
+// lock and map, so concurrent expand-phase readers never contend on a
+// global mutex and each map stays small. The level-synchronized
+// protocol writes only between expansion phases (in absorb), so during
+// an expand phase readers observe a frozen snapshot — everything
+// visited through the previous level.
+type VisitedShards[K comparable] struct {
+	hash   func(K) uint32
+	shards [visitedShardCount]visitedShard[K]
+}
+
+const visitedShardCount = 64
+
+type visitedShard[K comparable] struct {
+	mu sync.RWMutex
+	m  map[K]int32
+}
+
+// NewVisitedShards returns an empty sharded visited set using hash to
+// pick shards. The hash need not be cryptographic, only well spread
+// (see FNV1a).
+func NewVisitedShards[K comparable](hash func(K) uint32) *VisitedShards[K] {
+	v := &VisitedShards[K]{hash: hash}
+	for i := range v.shards {
+		v.shards[i].m = map[K]int32{}
+	}
+	return v
+}
+
+// FNV1a is the string shard hash for NewVisitedShards.
+func FNV1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Mix64 is a shard hash for uint64 keys (SplitMix64 finalizer).
+func Mix64(key uint64) uint32 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return uint32(key)
+}
+
+// Get returns the value recorded for key, if any.
+func (v *VisitedShards[K]) Get(key K) (int32, bool) {
+	sh := &v.shards[v.hash(key)%visitedShardCount]
+	sh.mu.RLock()
+	val, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return val, ok
+}
+
+// Put records key -> val.
+func (v *VisitedShards[K]) Put(key K, val int32) {
+	sh := &v.shards[v.hash(key)%visitedShardCount]
+	sh.mu.Lock()
+	sh.m[key] = val
+	sh.mu.Unlock()
+}
+
+// Len returns the total number of recorded keys.
+func (v *VisitedShards[K]) Len() int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// bfsOverGrid runs ParallelFrontier over an implicit w×h grid graph
+// (successors: right and down) and returns the visit order, which must
+// match the serial BFS discovery order for every worker count.
+func bfsOverGrid(t *testing.T, w, h, workers int) []int {
+	t.Helper()
+	var order []int
+	seen := map[int]bool{0: true}
+	expand := func(cell int, buf []int) []int {
+		x, y := cell%w, cell/w
+		if x+1 < w {
+			buf = append(buf, cell+1)
+		}
+		if y+1 < h {
+			buf = append(buf, cell+w)
+		}
+		return buf
+	}
+	absorb := func(cell int, succs []int, push func(int)) error {
+		order = append(order, cell)
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				push(s)
+			}
+		}
+		return nil
+	}
+	if err := ParallelFrontier([]int{0}, workers, expand, absorb); err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+func TestParallelFrontierDeterministicOrder(t *testing.T) {
+	want := bfsOverGrid(t, 7, 5, 1)
+	if len(want) != 35 {
+		t.Fatalf("serial BFS visited %d cells, want 35", len(want))
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		for run := 0; run < 10; run++ {
+			got := bfsOverGrid(t, 7, 5, workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d run %d: visit order diverges from serial\nwant %v\ngot  %v",
+					workers, run, want, got)
+			}
+		}
+	}
+}
+
+func TestParallelFrontierAbortsOnError(t *testing.T) {
+	calls := 0
+	expand := func(n int, buf []int) []int {
+		if n < 100 {
+			return append(buf, n+1)
+		}
+		return buf
+	}
+	absorb := func(n int, succs []int, push func(int)) error {
+		calls++
+		if n == 5 {
+			return fmt.Errorf("stop at %d", n)
+		}
+		for _, s := range succs {
+			push(s)
+		}
+		return nil
+	}
+	err := ParallelFrontier([]int{0}, 4, expand, absorb)
+	if err == nil || err.Error() != "stop at 5" {
+		t.Fatalf("want 'stop at 5' error, got %v", err)
+	}
+	if calls != 6 { // absorbed 0..5, then aborted
+		t.Fatalf("absorb ran %d times, want 6", calls)
+	}
+}
+
+func TestVisitedShards(t *testing.T) {
+	v := NewVisitedShards(FNV1a)
+	for i := 0; i < 1000; i++ {
+		v.Put(fmt.Sprintf("key-%d", i), int32(i))
+	}
+	if v.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", v.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		got, ok := v.Get(fmt.Sprintf("key-%d", i))
+		if !ok || got != int32(i) {
+			t.Fatalf("Get(key-%d) = %d,%v", i, got, ok)
+		}
+	}
+	if _, ok := v.Get("missing"); ok {
+		t.Fatal("Get on missing key reported present")
+	}
+}
+
+// TestVisitedShardsConcurrentReaders exercises the expand-phase access
+// pattern under the race detector: many goroutines reading a frozen
+// snapshot concurrently.
+func TestVisitedShardsConcurrentReaders(t *testing.T) {
+	v := NewVisitedShards(Mix64)
+	for i := uint64(0); i < 500; i++ {
+		v.Put(i, int32(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				if got, ok := v.Get(i); !ok || got != int32(i) {
+					t.Errorf("Get(%d) = %d,%v", i, got, ok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

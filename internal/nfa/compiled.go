@@ -61,12 +61,17 @@ func compileTransitions(n, properSyms int, trans []map[alphabet.Symbol][]State) 
 // Compiled returns the CSR form of the automaton, building and caching
 // it on first use. The returned value is shared and read-only. The
 // shape checks guard against a stale cache: shared alphabets may grow
-// after the automaton was compiled.
+// after the automaton was compiled. The load/compile/store sequence is
+// safe under concurrent readers: compilation only reads the automaton,
+// racing compiles produce identical values, and the atomic store
+// publishes a fully built form.
 func (a *NFA) Compiled() *Compiled {
-	if a.csr == nil || a.csr.n != a.NumStates() || a.csr.syms != a.ab.Size()+1 {
-		a.csr = compileTransitions(a.NumStates(), a.ab.Size(), a.trans)
+	if c := a.csr.Load(); c != nil && c.n == a.NumStates() && c.syms == a.ab.Size()+1 {
+		return c
 	}
-	return a.csr
+	c := compileTransitions(a.NumStates(), a.ab.Size(), a.trans)
+	a.csr.Store(c)
+	return c
 }
 
 // NumStates returns the number of states of the compiled automaton.

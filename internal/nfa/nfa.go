@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"relive/internal/alphabet"
 	"relive/internal/graph"
@@ -31,8 +32,10 @@ type NFA struct {
 	accepting []bool
 	trans     []map[alphabet.Symbol][]State
 	// csr is the lazily built compiled form (see Compiled); it is
-	// invalidated whenever a state or transition is added.
-	csr *Compiled
+	// invalidated whenever a state or transition is added. The atomic
+	// pointer makes the lazy build safe under concurrent readers;
+	// mutating an automaton concurrently with reads remains unsupported.
+	csr atomic.Pointer[Compiled]
 }
 
 // New returns an empty NFA over ab with no states.
@@ -76,7 +79,7 @@ func (a *NFA) AddState(accepting bool) State {
 	s := State(len(a.accepting))
 	a.accepting = append(a.accepting, accepting)
 	a.trans = append(a.trans, nil)
-	a.csr = nil
+	a.csr.Store(nil)
 	return s
 }
 
@@ -114,7 +117,7 @@ func (a *NFA) AddTransition(from State, sym alphabet.Symbol, to State) {
 		}
 	}
 	m[sym] = append(m[sym], to)
-	a.csr = nil
+	a.csr.Store(nil)
 }
 
 // Succ returns the successors of s under sym (no ε-closure applied).
@@ -140,8 +143,8 @@ func (a *NFA) Clone() *NFA {
 		initial:   append([]State(nil), a.initial...),
 		accepting: append([]bool(nil), a.accepting...),
 		trans:     make([]map[alphabet.Symbol][]State, len(a.trans)),
-		csr:       a.csr,
 	}
+	c.csr.Store(a.csr.Load())
 	for i, m := range a.trans {
 		if m == nil {
 			continue

@@ -61,6 +61,11 @@ func StartSpan(rec Recorder, name string) Span {
 	return Span{rec: rec, id: rec.SpanStart(name)}
 }
 
+// ID returns the span's identifier on its recorder, or 0 for the
+// disabled span. Callers use it to fork per-goroutine recorders that
+// parent their spans under this span (see ForkWorker).
+func (s Span) ID() SpanID { return s.id }
+
 // End closes the span.
 func (s Span) End() {
 	if s.rec != nil {

@@ -66,6 +66,27 @@ func (t *Trace) SpanStart(name string) SpanID {
 	return id
 }
 
+// SpanStartAt implements ParentedRecorder: it opens a span under an
+// explicit parent instead of the innermost open span. The span is not
+// pushed on the bracketing stack — explicitly parented spans belong to
+// a concurrent goroutine's subtree (see ForkWorker) and must not
+// become implicit parents of unrelated spans started on other
+// goroutines.
+func (t *Trace) SpanStartAt(name string, parent SpanID) SpanID {
+	now := time.Since(t.origin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, SpanRecord{
+		ID:         id,
+		Parent:     parent,
+		Name:       name,
+		StartNS:    now.Nanoseconds(),
+		DurationNS: -1,
+	})
+	return id
+}
+
 // SpanEnd implements Recorder. Ending a span also closes out-of-order
 // descendants still marked open, so a forgotten End deeper in the call
 // chain cannot corrupt the nesting of later spans.

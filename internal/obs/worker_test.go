@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func spanByName(t *testing.T, spans []SpanRecord, name string) SpanRecord {
+	t.Helper()
+	for _, s := range spans {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no span named %q in %v", name, spans)
+	return SpanRecord{}
+}
+
+func TestForkWorkerParentingAndTags(t *testing.T) {
+	tr := NewTrace()
+	root := tr.SpanStart("root")
+	w := ForkWorker(tr, "w1", root)
+
+	outer := w.SpanStart("outer")
+	inner := w.SpanStart("inner")
+	w.SpanEnd(inner)
+	w.SpanEnd(outer)
+	second := w.SpanStart("second")
+	w.SpanEnd(second)
+	tr.SpanEnd(root)
+
+	spans := tr.Spans()
+	o := spanByName(t, spans, "outer")
+	if o.Parent != root {
+		t.Errorf("outer parented under %d, want root %d", o.Parent, root)
+	}
+	if o.Tags["worker"] != "w1" {
+		t.Errorf("outer worker tag = %q, want w1", o.Tags["worker"])
+	}
+	i := spanByName(t, spans, "inner")
+	if i.Parent != o.ID {
+		t.Errorf("inner parented under %d, want outer %d", i.Parent, o.ID)
+	}
+	if i.Tags["worker"] != "" {
+		t.Errorf("nested span carries worker tag %q, want none", i.Tags["worker"])
+	}
+	s := spanByName(t, spans, "second")
+	if s.Parent != root {
+		t.Errorf("second parented under %d, want root %d after stack drained", s.Parent, root)
+	}
+	for _, name := range []string{"outer", "inner", "second"} {
+		if sp := spanByName(t, spans, name); sp.DurationNS < 0 {
+			t.Errorf("span %q left open (duration %d)", name, sp.DurationNS)
+		}
+	}
+}
+
+// TestForkWorkerConcurrentIsolation is the failure mode ForkWorker
+// exists to prevent: with plain SpanStart, concurrent goroutines would
+// nest under each other's open spans via the global bracketing stack.
+func TestForkWorkerConcurrentIsolation(t *testing.T) {
+	tr := NewTrace()
+	root := tr.SpanStart("root")
+	names := []string{"wa", "wb", "wc"}
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			w := ForkWorker(tr, name, root)
+			for i := 0; i < 50; i++ {
+				top := w.SpanStart("task")
+				sub := w.SpanStart("subtask")
+				w.SpanEnd(sub)
+				w.SpanEnd(top)
+			}
+		}(name)
+	}
+	wg.Wait()
+	tr.SpanEnd(root)
+
+	byID := map[SpanID]SpanRecord{}
+	for _, s := range tr.Spans() {
+		byID[s.ID] = s
+	}
+	for _, s := range tr.Spans() {
+		switch s.Name {
+		case "task":
+			if s.Parent != root {
+				t.Fatalf("task span parented under %d (%s), want root", s.Parent, byID[s.Parent].Name)
+			}
+			if s.Tags["worker"] == "" {
+				t.Fatal("task span lost its worker tag")
+			}
+		case "subtask":
+			p := byID[s.Parent]
+			if p.Name != "task" {
+				t.Fatalf("subtask parented under %q, want its worker's task", p.Name)
+			}
+			if p.Tags["worker"] == "" {
+				t.Fatal("subtask's parent has no worker tag")
+			}
+		}
+	}
+}
+
+func TestForkWorkerNil(t *testing.T) {
+	if w := ForkWorker(nil, "w", 0); w != nil {
+		t.Fatalf("ForkWorker(nil) = %v, want nil", w)
+	}
+}
+
+func TestSpanStartAtDoesNotJoinGlobalStack(t *testing.T) {
+	tr := NewTrace()
+	root := tr.SpanStart("root")
+	side := tr.SpanStartAt("side", root)
+	// A span opened by bracketing after SpanStartAt must still parent
+	// under root, not under side.
+	child := tr.SpanStart("child")
+	tr.SpanEnd(child)
+	tr.SpanEnd(side)
+	tr.SpanEnd(root)
+
+	spans := tr.Spans()
+	if c := spanByName(t, spans, "child"); c.Parent != root {
+		t.Errorf("child parented under %d, want root %d", c.Parent, root)
+	}
+	if s := spanByName(t, spans, "side"); s.Parent != root {
+		t.Errorf("side parented under %d, want root %d", s.Parent, root)
+	}
+	if s := spanByName(t, spans, "side"); s.DurationNS < 0 {
+		t.Errorf("SpanEnd failed to close a SpanStartAt span (duration %d)", s.DurationNS)
+	}
+}

@@ -1,0 +1,107 @@
+package petri
+
+import (
+	"fmt"
+	"runtime"
+
+	"relive/internal/alphabet"
+	"relive/internal/graph"
+	"relive/internal/ts"
+)
+
+// ReachabilityGraphParallel is ReachabilityGraph with frontier-parallel
+// exploration: each BFS level's markings are expanded (enabledness
+// checks, firings, key rendering — the dominant cost) concurrently by
+// the given number of workers into per-worker successor buffers, while
+// state numbering and transition insertion happen in a serial merge
+// that visits successors in exactly the serial BFS discovery order. The
+// resulting system is bit-identical to ReachabilityGraph's — same state
+// numbering, names, and transitions — for any worker count; equality is
+// pinned by the test suite. The sharded visited set is read lock-free
+// by the expansion workers (the merge only writes between levels) and
+// lets them pre-resolve already-known successors.
+//
+// workers == 1 delegates to the serial construction; workers <= 0
+// means runtime.GOMAXPROCS(0).
+func (n *Net) ReachabilityGraphParallel(maxStates, workers int) (*ts.System, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return n.ReachabilityGraph(maxStates)
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	sys := ts.New(n.ab.Clone())
+	// Resolve transition symbols before the fan-out so workers never
+	// touch the (mutable, interning) alphabet.
+	syms := make([]alphabet.Symbol, len(n.trans))
+	for i, t := range n.trans {
+		syms[i], _ = sys.Alphabet().Lookup(t.Name)
+	}
+
+	type item struct {
+		m  Marking
+		st ts.State
+	}
+	// succ is one fired transition: the transition index, the successor
+	// marking with its key, and the state number when the expansion
+	// worker already found it in the visited set (st < 0: unknown at
+	// expansion time — new this level, or discovered by an earlier item
+	// of the same level).
+	type succ struct {
+		t   int
+		m   Marking
+		key string
+		st  int32
+	}
+
+	seen := graph.NewVisitedShards(graph.FNV1a)
+	init := sys.AddState(n.MarkingName(n.InitialMarking()))
+	sys.SetInitial(init)
+	seen.Put(n.InitialMarking().key(), int32(init))
+	visited := 1
+
+	expand := func(it item, buf []succ) []succ {
+		for ti, t := range n.trans {
+			if !n.Enabled(t, it.m) {
+				continue
+			}
+			next := n.Fire(t, it.m)
+			s := succ{t: ti, m: next, key: next.key(), st: -1}
+			if st, ok := seen.Get(s.key); ok {
+				s.st = st
+			}
+			buf = append(buf, s)
+		}
+		return buf
+	}
+	absorb := func(it item, succs []succ, push func(item)) error {
+		if visited > maxStates {
+			return fmt.Errorf("petri: reachability graph exceeds %d markings", maxStates)
+		}
+		for _, s := range succs {
+			to := ts.State(s.st)
+			if s.st < 0 {
+				// Not visited as of the previous level; it may still have
+				// been interned by an earlier item of this level.
+				if st, ok := seen.Get(s.key); ok {
+					to = ts.State(st)
+				} else {
+					to = sys.AddState(n.MarkingName(s.m))
+					seen.Put(s.key, int32(to))
+					visited++
+					push(item{m: s.m, st: to})
+				}
+			}
+			sys.AddTransition(it.st, syms[s.t], to)
+		}
+		return nil
+	}
+	roots := []item{{m: n.InitialMarking(), st: init}}
+	if err := graph.ParallelFrontier(roots, workers, expand, absorb); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

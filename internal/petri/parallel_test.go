@@ -1,0 +1,122 @@
+package petri
+
+import (
+	"reflect"
+	"testing"
+
+	"relive/internal/ts"
+)
+
+// tokenRing is a bounded net whose reachability graph is the set of
+// distributions of `tokens` tokens over four places — wide enough that
+// every BFS level holds several markings.
+func tokenRing(tokens int) *Net {
+	n := New()
+	n.AddPlace("p0", tokens)
+	n.AddPlace("p1", 0)
+	n.AddPlace("p2", 0)
+	n.AddPlace("p3", 0)
+	move := func(name, from, to string) {
+		n.AddTransition(name, map[string]int{from: 1}, map[string]int{to: 1})
+	}
+	move("t01", "p0", "p1")
+	move("t12", "p1", "p2")
+	move("t23", "p2", "p3")
+	move("t30", "p3", "p0")
+	move("t02", "p0", "p2")
+	move("t13", "p1", "p3")
+	return n
+}
+
+// pipelineNet is a two-process net with a synchronizing buffer place
+// between a producer loop and a consumer loop.
+func pipelineNet() *Net {
+	n := New()
+	n.AddPlace("ready", 1)
+	n.AddPlace("produced", 0)
+	n.AddPlace("buffer", 0)
+	n.AddPlace("waiting", 1)
+	n.AddPlace("consumed", 0)
+	n.AddPlace("space", 2)
+	n.AddTransition("produce", map[string]int{"ready": 1}, map[string]int{"produced": 1})
+	n.AddTransition("send", map[string]int{"produced": 1, "space": 1}, map[string]int{"ready": 1, "buffer": 1})
+	n.AddTransition("receive", map[string]int{"waiting": 1, "buffer": 1}, map[string]int{"consumed": 1, "space": 1})
+	n.AddTransition("consume", map[string]int{"consumed": 1}, map[string]int{"waiting": 1})
+	return n
+}
+
+// sameSystem asserts the two systems are bit-identical: same state
+// numbering, names, initial state, and transition multiset.
+func sameSystem(t *testing.T, want, got *ts.System, label string) {
+	t.Helper()
+	if want.NumStates() != got.NumStates() {
+		t.Fatalf("%s: %d states, serial has %d", label, got.NumStates(), want.NumStates())
+	}
+	for st := 0; st < want.NumStates(); st++ {
+		if want.StateName(ts.State(st)) != got.StateName(ts.State(st)) {
+			t.Fatalf("%s: state %d named %q, serial names it %q",
+				label, st, got.StateName(ts.State(st)), want.StateName(ts.State(st)))
+		}
+	}
+	if want.Initial() != got.Initial() {
+		t.Fatalf("%s: initial %d, serial has %d", label, got.Initial(), want.Initial())
+	}
+	if !reflect.DeepEqual(want.Edges(), got.Edges()) {
+		t.Fatalf("%s: edge set differs from serial", label)
+	}
+}
+
+func TestReachabilityGraphParallelBitIdentical(t *testing.T) {
+	nets := []struct {
+		name string
+		net  *Net
+	}{
+		{"pipeline", pipelineNet()},
+		{"ring3", tokenRing(3)},
+		{"ring6", tokenRing(6)},
+	}
+	for _, tc := range nets {
+		serial, err := tc.net.ReachabilityGraph(0)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, err := tc.net.ReachabilityGraphParallel(0, workers)
+			if err != nil {
+				t.Fatalf("%s parallel(%d): %v", tc.name, workers, err)
+			}
+			sameSystem(t, serial, par, tc.name)
+		}
+	}
+}
+
+func TestReachabilityGraphParallelMaxStates(t *testing.T) {
+	// An unbounded net: the parallel construction must report the same
+	// explosion error as the serial one instead of diverging.
+	n := New()
+	n.AddPlace("p", 1)
+	n.AddTransition("grow", map[string]int{"p": 1}, map[string]int{"p": 2})
+	_, serr := n.ReachabilityGraph(50)
+	_, perr := n.ReachabilityGraphParallel(50, 4)
+	if serr == nil || perr == nil {
+		t.Fatalf("expected explosion errors, got serial=%v parallel=%v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Fatalf("error text differs: serial %q, parallel %q", serr, perr)
+	}
+}
+
+func TestReachabilityGraphParallelWorkerDefaults(t *testing.T) {
+	n := tokenRing(2)
+	serial, err := n.ReachabilityGraph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1} { // GOMAXPROCS and serial delegation
+		par, err := n.ReachabilityGraphParallel(0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSystem(t, serial, par, "defaults")
+	}
+}

@@ -1,0 +1,150 @@
+package ts
+
+import (
+	"fmt"
+	"runtime"
+
+	"relive/internal/alphabet"
+	"relive/internal/graph"
+)
+
+// ProductParallel is the synchronous composition Product with
+// frontier-parallel construction of the reachable pair space: each BFS
+// level's pairs are expanded concurrently by the given number of
+// workers into per-worker successor buffers, and a serial merge interns
+// pairs and adds transitions in deterministic order. Unlike Product —
+// whose state numbering depends on Go map iteration order and therefore
+// varies run to run — ProductParallel expands symbols in interning
+// order, so its output is identical for every worker count and every
+// run. The composed language is the same as Product's (the systems are
+// isomorphic up to state numbering); equality of behavior is pinned by
+// the test suite.
+//
+// workers == 1 uses a single goroutine but keeps the deterministic
+// symbol order; workers <= 0 means runtime.GOMAXPROCS(0).
+func ProductParallel(a, b *System, workers int) (*System, error) {
+	if a.initial < 0 || b.initial < 0 {
+		return nil, fmt.Errorf("ts: product of systems without initial states")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ab := a.ab.Clone()
+	mapB := ab.Extend(b.ab)
+	sharedByName := map[alphabet.Symbol]alphabet.Symbol{} // product symbol -> b's symbol
+	for _, symB := range b.ab.Symbols() {
+		sharedByName[mapB[symB]] = symB
+	}
+	isShared := func(sym alphabet.Symbol) bool {
+		_, inB := sharedByName[sym]
+		_, inA := a.ab.Lookup(ab.Name(sym))
+		return inB && inA
+	}
+
+	// Resolve every symbol's product image and sharedness before the
+	// fan-out so workers never touch the (mutable, interning) alphabet.
+	aSyms := a.ab.Symbols()
+	type aCol struct {
+		sym    alphabet.Symbol // product symbol
+		shared bool
+		symB   alphabet.Symbol // b's symbol when shared
+	}
+	aCols := make([]aCol, len(aSyms))
+	for i, symA := range aSyms {
+		sym := ab.Symbol(a.ab.Name(symA)) // same value: ab extends a's alphabet
+		aCols[i] = aCol{sym: sym, shared: isShared(sym), symB: sharedByName[sym]}
+	}
+	bSyms := b.ab.Symbols()
+	type bCol struct {
+		sym    alphabet.Symbol
+		shared bool
+	}
+	bCols := make([]bCol, len(bSyms))
+	for j, symB := range bSyms {
+		sym := mapB[symB]
+		bCols[j] = bCol{sym: sym, shared: isShared(sym)}
+	}
+
+	type pair struct{ x, y State }
+	pack := func(p pair) uint64 { return uint64(uint32(p.x))<<32 | uint64(uint32(p.y)) }
+	type item struct {
+		p  pair
+		st State
+	}
+	// succ is one product move; st is the already-interned target state
+	// when the expansion worker found it in the visited set (-1: not
+	// visited as of the previous level).
+	type succ struct {
+		sym alphabet.Symbol
+		p   pair
+		st  int32
+	}
+
+	out := New(ab)
+	seen := graph.NewVisitedShards(graph.Mix64)
+	initPair := pair{a.initial, b.initial}
+	init := out.AddState(a.names[initPair.x] + "|" + b.names[initPair.y])
+	out.SetInitial(init)
+	seen.Put(pack(initPair), int32(init))
+
+	expand := func(it item, buf []succ) []succ {
+		emit := func(sym alphabet.Symbol, p pair) []succ {
+			s := succ{sym: sym, p: p, st: -1}
+			if st, ok := seen.Get(pack(p)); ok {
+				s.st = st
+			}
+			return append(buf, s)
+		}
+		// Moves of a: private actions of a, or shared with b able to match.
+		for i, symA := range aSyms {
+			ts := a.trans[it.p.x][symA]
+			if len(ts) == 0 {
+				continue
+			}
+			col := aCols[i]
+			if col.shared {
+				for _, tx := range ts {
+					for _, ty := range b.trans[it.p.y][col.symB] {
+						buf = emit(col.sym, pair{tx, ty})
+					}
+				}
+			} else {
+				for _, tx := range ts {
+					buf = emit(col.sym, pair{tx, it.p.y})
+				}
+			}
+		}
+		// Private moves of b.
+		for j, symB := range bSyms {
+			col := bCols[j]
+			if col.shared {
+				continue // handled above
+			}
+			for _, ty := range b.trans[it.p.y][symB] {
+				buf = emit(col.sym, pair{it.p.x, ty})
+			}
+		}
+		return buf
+	}
+	absorb := func(it item, succs []succ, push func(item)) error {
+		for _, s := range succs {
+			to := State(s.st)
+			if s.st < 0 {
+				if st, ok := seen.Get(pack(s.p)); ok {
+					to = State(st)
+				} else {
+					to = out.AddState(a.names[s.p.x] + "|" + b.names[s.p.y])
+					seen.Put(pack(s.p), int32(to))
+					push(item{p: s.p, st: to})
+				}
+			}
+			out.AddTransition(it.st, s.sym, to)
+		}
+		return nil
+	}
+	roots := []item{{p: initPair, st: init}}
+	if err := graph.ParallelFrontier(roots, workers, expand, absorb); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

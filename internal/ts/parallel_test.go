@@ -1,0 +1,113 @@
+package ts
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"relive/internal/alphabet"
+)
+
+// namedEdges renders every transition by state name and action name,
+// sorted — a representation invariant under state renumbering.
+func namedEdges(s *System) []string {
+	var out []string
+	for _, e := range s.Edges() {
+		out = append(out, fmt.Sprintf("%s -%s-> %s",
+			s.StateName(e.From), s.Alphabet().Name(e.Sym), s.StateName(e.To)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func productOperands(t *testing.T) (*System, *System) {
+	t.Helper()
+	parse := func(text string) *System {
+		sys, err := ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	left := parse(`
+init idle
+idle req busy
+busy work done
+done res idle
+busy sync busy
+`)
+	right := parse(`
+init wait
+wait sync go
+go step wait
+go res go
+`)
+	return left, right
+}
+
+func TestProductParallelMatchesSerialBehavior(t *testing.T) {
+	a, b := productOperands(t)
+	serial, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := ProductParallel(a, b, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.NumStates() != serial.NumStates() {
+			t.Errorf("workers=%d: %d states, serial has %d", workers, par.NumStates(), serial.NumStates())
+		}
+		if par.StateName(par.Initial()) != serial.StateName(serial.Initial()) {
+			t.Errorf("workers=%d: initial %q, serial has %q",
+				workers, par.StateName(par.Initial()), serial.StateName(serial.Initial()))
+		}
+		if !reflect.DeepEqual(namedEdges(serial), namedEdges(par)) {
+			t.Errorf("workers=%d: named edge set differs from serial Product", workers)
+		}
+	}
+}
+
+// TestProductParallelDeterministic pins the stronger guarantee the
+// parallel construction makes and the serial one does not: identical
+// state numbering for every run and every worker count.
+func TestProductParallelDeterministic(t *testing.T) {
+	a, b := productOperands(t)
+	ref, err := ProductParallel(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		for _, workers := range []int{2, 4, 8} {
+			got, err := ProductParallel(a, b, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumStates() != ref.NumStates() {
+				t.Fatalf("run %d workers=%d: %d states, want %d", run, workers, got.NumStates(), ref.NumStates())
+			}
+			for st := 0; st < ref.NumStates(); st++ {
+				if ref.StateName(State(st)) != got.StateName(State(st)) {
+					t.Fatalf("run %d workers=%d: state %d named %q, want %q",
+						run, workers, st, got.StateName(State(st)), ref.StateName(State(st)))
+				}
+			}
+			if got.Initial() != ref.Initial() {
+				t.Fatalf("run %d workers=%d: initial %d, want %d", run, workers, got.Initial(), ref.Initial())
+			}
+			if !reflect.DeepEqual(ref.Edges(), got.Edges()) {
+				t.Fatalf("run %d workers=%d: edges differ between identical invocations", run, workers)
+			}
+		}
+	}
+}
+
+func TestProductParallelNoInitial(t *testing.T) {
+	a := New(alphabet.New())
+	b := New(alphabet.New())
+	if _, err := ProductParallel(a, b, 2); err == nil {
+		t.Fatal("expected error for systems without initial states")
+	}
+}

@@ -2,6 +2,7 @@ package relive
 
 import (
 	"io"
+	"runtime"
 
 	"relive/internal/core"
 	"relive/internal/obs"
@@ -32,11 +33,12 @@ func NewTrace() *Trace { return obs.NewTrace() }
 // ReadTraceJSON parses a dump written by (*Trace).WriteJSON.
 func ReadTraceJSON(r io.Reader) (TraceDump, error) { return obs.ReadJSON(r) }
 
-// Checker runs the decision procedures with options attached — today a
-// Recorder; the zero value (or With() with no options) behaves exactly
-// like the package-level functions.
+// Checker runs the decision procedures with options attached — a
+// Recorder and a parallelism degree; the zero value (or With() with no
+// options) behaves exactly like the package-level functions.
 type Checker struct {
 	rec Recorder
+	par int
 }
 
 // Option configures a Checker.
@@ -46,6 +48,23 @@ type Option func(*Checker)
 // through the returned Checker reports spans and metrics to it.
 func WithRecorder(rec Recorder) Option {
 	return func(c *Checker) { c.rec = rec }
+}
+
+// WithParallelism makes the Checker run its decision procedures on up
+// to n goroutines: CheckAll/CheckAllProperty run the three Section 4
+// verdicts concurrently over one single-flight artifact pipeline, and
+// the portfolio entry points use n as their worker-pool size. n <= 0
+// means runtime.GOMAXPROCS(0). Verdicts and witnesses are identical to
+// the serial path — every artifact is deterministic and built exactly
+// once regardless of goroutine arrival order; see docs/PERFORMANCE.md
+// ("Parallelism"). Without this option checks stay serial.
+func WithParallelism(n int) Option {
+	return func(c *Checker) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.par = n
+	}
 }
 
 // With returns a Checker carrying the given options. Existing
@@ -65,6 +84,9 @@ func With(opts ...Option) *Checker {
 
 // Recorder returns the attached recorder (nil when none).
 func (c *Checker) Recorder() Recorder { return c.rec }
+
+// Parallelism returns the configured parallelism degree (0 = serial).
+func (c *Checker) Parallelism() int { return c.par }
 
 // CheckRelativeLiveness is the package-level CheckRelativeLiveness with
 // the Checker's options applied.
@@ -100,14 +122,44 @@ func (c *Checker) CheckSatisfiesProperty(sys *System, p Property) (SatisfactionR
 }
 
 // CheckAll is the package-level CheckAll with the Checker's options
-// applied.
+// applied. Under WithParallelism the three verdicts run concurrently;
+// the report is identical to the serial one.
 func (c *Checker) CheckAll(sys *System, f *Formula) (*Report, error) {
-	return core.CheckAllRec(c.rec, sys, core.FromFormula(f, nil))
+	return core.CheckAllParRec(c.rec, sys, core.FromFormula(f, nil), c.par)
 }
 
 // CheckAllProperty is CheckAll for a Property.
 func (c *Checker) CheckAllProperty(sys *System, p Property) (*Report, error) {
-	return core.CheckAllRec(c.rec, sys, p)
+	return core.CheckAllParRec(c.rec, sys, p, c.par)
+}
+
+// CheckPropertyPortfolio runs CheckAll for every property against sys
+// on a worker pool of the Checker's parallelism degree (serial without
+// WithParallelism). All properties share the trimmed system and its
+// behavior automaton, built once by whichever worker needs them first;
+// reports come back in props order with verdicts and witnesses
+// identical to checking each property serially.
+func (c *Checker) CheckPropertyPortfolio(sys *System, props []Property) ([]*Report, error) {
+	return core.CheckPortfolioRec(c.rec, sys, props, c.portfolioWorkers())
+}
+
+// CheckSystemsPortfolio runs CheckAll for one property against every
+// system on a worker pool of the Checker's parallelism degree. Systems
+// sharing an alphabet share the property automaton and its negation.
+// Reports come back in systems order, identical to the serial results.
+func (c *Checker) CheckSystemsPortfolio(systems []*System, p Property) ([]*Report, error) {
+	return core.CheckSystemsPortfolioRec(c.rec, systems, p, c.portfolioWorkers())
+}
+
+// portfolioWorkers maps the option to the pool size: without
+// WithParallelism the portfolio runs serially (core treats <= 1 as a
+// plain loop); core.CheckPortfolioRec treats 0 as one-per-job, which is
+// not what an unconfigured Checker should do.
+func (c *Checker) portfolioWorkers() int {
+	if c.par <= 0 {
+		return 1
+	}
+	return c.par
 }
 
 // MachineClosed is the package-level MachineClosed with the Checker's

@@ -236,6 +236,14 @@ func EvalLasso(f *Formula, l Lasso, lab *Labeling) (bool, error) {
 // the compositional-analysis step of [22] in the paper.
 func ProductSystem(a, b *System) (*System, error) { return ts.Product(a, b) }
 
+// ProductSystemParallel is ProductSystem with frontier-parallel
+// construction of the reachable pair space on the given number of
+// workers. Unlike ProductSystem, its state numbering is deterministic
+// across runs and worker counts; the composed behavior is the same.
+func ProductSystemParallel(a, b *System, workers int) (*System, error) {
+	return ts.ProductParallel(a, b, workers)
+}
+
 // NewFairScheduler returns a deterministic strongly fair scheduler for
 // simulating sys.
 func NewFairScheduler(sys *System) (*fairness.Scheduler, error) {
