@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-save bench-cmp experiments examples cover clean
+.PHONY: all build test vet bench bench-save bench-cmp experiments examples cover clean \
+        test-oracle fuzz
 
 # Flags shared by bench and bench-save so saved baselines stay comparable.
 # BENCHCOUNT=3 matches the methodology recorded in the BENCH_*.json
@@ -23,6 +24,27 @@ test: vet
 
 bench:
 	$(GO) test $(BENCHFLAGS) .
+
+# The differential & metamorphic suite: internal/core cross-checked
+# against the naive paper-literal oracles (docs/TESTING.md). SEED and
+# PAIRS feed the suite's own flags; add ORACLEFLAGS=-quickchecks for the
+# 4x sweep with larger shapes.
+SEED ?= 1
+PAIRS ?= 520
+ORACLEFLAGS ?=
+test-oracle:
+	$(GO) test ./internal/oracle -v -run 'Differential|Law' \
+		-args -seed $(SEED) -pairs $(PAIRS) $(ORACLEFLAGS)
+
+# Short-budget native fuzzing of every target (seed corpora are in
+# testdata/fuzz/). Go runs one -fuzz pattern at a time, so loop.
+FUZZTIME ?= 10s
+FUZZTARGETS ?= FuzzParseLTL FuzzParseSystem FuzzParseHom FuzzCheckAll FuzzRbarPreservation
+fuzz:
+	@for t in $(FUZZTARGETS); do \
+		echo "== $$t"; \
+		$(GO) test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) . || exit 1; \
+	done
 
 # Save a benchmark baseline to compare against after a change:
 #   make bench-save OUT=bench_before.txt

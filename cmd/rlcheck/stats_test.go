@@ -128,9 +128,9 @@ func TestProfileFlags(t *testing.T) {
 func TestMalformedSystemContent(t *testing.T) {
 	for _, text := range []string{
 		"this is not a transition system\n",
-		"init\n",               // init without a state
-		"init s0\ns0 a\n",      // transition missing target
-		"s0 a s1\n",            // no init line
+		"init\n",                // init without a state
+		"init s0\ns0 a\n",       // transition missing target
+		"s0 a s1\n",             // no init line
 		"init s0\ns0 a s1 s2\n", // too many fields
 	} {
 		path := filepath.Join(t.TempDir(), "bad.ts")

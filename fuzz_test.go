@@ -1,0 +1,311 @@
+package relive_test
+
+import (
+	"strings"
+	"testing"
+
+	"relive"
+	"relive/internal/core"
+	"relive/internal/genbase"
+	"relive/internal/oracle"
+	"relive/internal/word"
+)
+
+// Native fuzz targets for every user-facing parser and for the decision
+// pipeline. The parser targets assert the round-trip law — whatever
+// parses must print back to a form that reparses to the same printed
+// form — and, for formulas, that normalization preserves PNF and lasso
+// semantics. The pipeline targets assert the paper's theorem laws on
+// arbitrary fuzzer-built inputs: Theorem 4.7 consistency plus oracle
+// witness confirmation for CheckAll, and the word-level Lemma 7.5 for
+// R̄. Seed corpora live under testdata/fuzz/<FuzzName>/.
+//
+// Run one target with e.g.:
+//
+//	go test -run '^$' -fuzz FuzzParseLTL -fuzztime 10s .
+
+// countIffExpansions bounds the only normalizer clause that duplicates
+// both operands: nested ⇔ expands exponentially, so adversarial inputs
+// are skipped before Normalize can blow up.
+func countIffExpansions(text string) int {
+	return strings.Count(text, "<->") + strings.Count(text, "<=>") + strings.Count(text, "⇔")
+}
+
+func FuzzParseLTL(f *testing.F) {
+	f.Add("G F result")
+	f.Add("((a U b) R <>c) => []a")
+	f.Add("!a & b | c <-> X (a W b)")
+	f.Add("true U eps")
+	f.Add("□◇result ∧ ¬(a B b)")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 2048 || countIffExpansions(text) > 6 {
+			return
+		}
+		f1, err := relive.ParseLTL(text)
+		if err != nil {
+			return
+		}
+		printed := f1.String()
+		f2, err := relive.ParseLTL(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", printed, text, err)
+		}
+		if got := f2.String(); got != printed {
+			t.Fatalf("print/parse not idempotent: %q -> %q -> %q", text, printed, got)
+		}
+		if f1.Size() > 64 {
+			return
+		}
+		n := f1.Normalize()
+		if !n.IsPositiveNormalForm() {
+			t.Fatalf("Normalize(%q) = %q is not in positive normal form", text, n)
+		}
+		// Normalization must preserve semantics on a fixed short lasso.
+		ab := relive.NewAlphabet("a", "b")
+		lab := relive.CanonicalLabeling(ab)
+		l := relive.Lasso{
+			Prefix: relive.Word{ab.Symbol("a")},
+			Loop:   relive.Word{ab.Symbol("a"), ab.Symbol("b")},
+		}
+		v1, err1 := relive.EvalLasso(f1, l, lab)
+		v2, err2 := relive.EvalLasso(n, l, lab)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("EvalLasso errored on %q: %v / %v", text, err1, err2)
+		}
+		if v1 != v2 {
+			t.Fatalf("Normalize changed semantics of %q on a(ab)^ω: %v vs %v (normalized %q)",
+				text, v1, v2, n)
+		}
+	})
+}
+
+func FuzzParseSystem(f *testing.F) {
+	f.Add("init idle\nidle lock locked\nlocked unlock idle\n")
+	f.Add("# comment\ninit s0\ns0 a s0\ns0 b s1\n")
+	f.Add("s0 a s1\ninit s0\n")
+	f.Add("init lonely\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 8192 {
+			return
+		}
+		sys, err := relive.ParseSystemString(text)
+		if err != nil {
+			return
+		}
+		out := sys.FormatString()
+		sys2, err := relive.ParseSystemString(out)
+		if err != nil {
+			t.Fatalf("formatted system does not reparse: %v\ninput: %q\nformatted:\n%s", err, text, out)
+		}
+		if got := sys2.FormatString(); got != out {
+			t.Fatalf("format/parse not idempotent on %q:\nfirst:\n%s\nsecond:\n%s", text, out, got)
+		}
+		if sys2.NumStates() != sys.NumStates() {
+			t.Fatalf("state count changed on reparse: %d vs %d", sys.NumStates(), sys2.NumStates())
+		}
+	})
+}
+
+func FuzzParseHom(f *testing.F) {
+	f.Add("a=>x, b=>x, c=>")
+	f.Add("a=>,b=>,c=>c")
+	f.Add("a => ε , b => y")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 1024 {
+			return
+		}
+		src := relive.NewAlphabet("a", "b", "c")
+		h, err := relive.ParseHom(src, spec)
+		if err != nil {
+			return
+		}
+		out := h.String()
+		h2, err := relive.ParseHom(src, out)
+		if err != nil {
+			t.Fatalf("printed hom %q (from %q) does not reparse: %v", out, spec, err)
+		}
+		if got := h2.String(); got != out {
+			t.Fatalf("print/parse not idempotent: %q -> %q -> %q", spec, out, got)
+		}
+		// The two parses must agree letter by letter on Σ. Symbols are
+		// alphabet-relative (the two destination alphabets intern
+		// independently), so compare by name.
+		for _, s := range src.Symbols() {
+			n1 := h.Dest().Name(h.Image(s))
+			n2 := h2.Dest().Name(h2.Image(s))
+			if n1 != n2 {
+				t.Fatalf("images differ on %s: %q vs %q (spec %q)",
+					src.Name(s), n1, n2, spec)
+			}
+		}
+	})
+}
+
+// FuzzCheckAll drives the full decision pipeline on fuzzer-built
+// (system, formula) pairs: Theorem 4.7 must hold between the three
+// verdicts, the serial and parallel routes must agree, and every
+// witness must be confirmed exactly by the naive oracle. On alphabets
+// of at most three letters the oracle additionally does its bounded
+// exhaustive search against positive verdicts.
+func FuzzCheckAll(f *testing.F) {
+	f.Add("init s0\ns0 a s0\ns0 b s1\ns1 a s0\n", "G F a")
+	f.Add("init s0\ns0 a s1\ns1 b s1\n", "a U b")
+	f.Add("init p\np lock q\nq request p\n", "[] <> request")
+	f.Fuzz(func(t *testing.T, sysText, fText string) {
+		if len(sysText) > 2048 || len(fText) > 256 || countIffExpansions(fText) > 4 {
+			return
+		}
+		sys, err := relive.ParseSystemString(sysText)
+		if err != nil || sys.NumStates() > 10 {
+			return
+		}
+		fml, err := relive.ParseLTL(fText)
+		if err != nil || fml.Size() > 16 {
+			return
+		}
+		rep, err := relive.CheckAll(sys, fml)
+		if err != nil {
+			return // systems without behaviors etc. may legitimately error
+		}
+		if rep.Satisfied != (rep.RelativeLiveness && rep.RelativeSafety) {
+			t.Fatalf("Theorem 4.7 violated: sat=%v rl=%v rs=%v\nsystem:\n%s\nformula: %s",
+				rep.Satisfied, rep.RelativeLiveness, rep.RelativeSafety, sys.FormatString(), fml)
+		}
+		p := core.FromFormula(fml, nil)
+		repPar, err := core.CheckAllPar(sys, p, 4)
+		if err != nil {
+			t.Fatalf("parallel route errored where serial succeeded: %v", err)
+		}
+		if rep.Satisfied != repPar.Satisfied ||
+			rep.RelativeLiveness != repPar.RelativeLiveness ||
+			rep.RelativeSafety != repPar.RelativeSafety {
+			t.Fatalf("serial/parallel mismatch: (%v %v %v) vs (%v %v %v)",
+				rep.Satisfied, rep.RelativeLiveness, rep.RelativeSafety,
+				repPar.Satisfied, repPar.RelativeLiveness, repPar.RelativeSafety)
+		}
+
+		ab := sys.Alphabet()
+		op := oracle.FromFormula(fml, nil)
+		sat, err := core.Satisfies(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := core.RelativeLiveness(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := core.RelativeSafety(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sat.Holds {
+			if ok, err := oracle.ConfirmCounterexample(sys, op, sat.Counterexample); err != nil || !ok {
+				t.Fatalf("counterexample %s not confirmed (err %v)\nsystem:\n%s\nformula: %s",
+					sat.Counterexample.String(ab), err, sys.FormatString(), fml)
+			}
+		}
+		if !rl.Holds {
+			if ok, err := oracle.ConfirmBadPrefix(sys, op, rl.BadPrefix); err != nil || !ok {
+				t.Fatalf("bad prefix %s not confirmed (err %v)\nsystem:\n%s\nformula: %s",
+					rl.BadPrefix.String(ab), err, sys.FormatString(), fml)
+			}
+		}
+		if !rs.Holds {
+			if ok, err := oracle.ConfirmSafetyViolation(sys, op, rs.Violation); err != nil || !ok {
+				t.Fatalf("violation %s not confirmed (err %v)\nsystem:\n%s\nformula: %s",
+					rs.Violation.String(ab), err, sys.FormatString(), fml)
+			}
+		}
+		// Bounded exhaustive search against positive verdicts, only on
+		// alphabets small enough to enumerate.
+		if len(ab.Symbols()) > 3 {
+			return
+		}
+		words := genbase.Words(ab, 4)
+		lassos := genbase.Lassos(ab, 2, 2)
+		if rl.Holds {
+			if holds, w, err := oracle.RelativeLiveness(sys, op, words); err != nil || !holds {
+				t.Fatalf("oracle refutes relative liveness with %s (err %v)\nsystem:\n%s\nformula: %s",
+					w.String(ab), err, sys.FormatString(), fml)
+			}
+		}
+		if sat.Holds {
+			if holds, cex, err := oracle.Satisfaction(sys, op, lassos); err != nil || !holds {
+				t.Fatalf("oracle refutes satisfaction with %s (err %v)\nsystem:\n%s\nformula: %s",
+					cex.String(ab), err, sys.FormatString(), fml)
+			}
+		}
+	})
+}
+
+// FuzzRbarPreservation fuzzes the word-level Lemma 7.5: for η in
+// Σ'-normal form and every concrete lasso x with h(x) defined,
+// x ⊨_{λhΣΣ'} R̄(η) ⟺ h(x) ⊨_{λΣ'} η.
+func FuzzRbarPreservation(f *testing.F) {
+	f.Add("G F x", "a=>x, b=>x, c=>", "a", "ab")
+	f.Add("x U y", "a=>x, b=>y, c=>", "c", "cab")
+	f.Add("X x", "a=>x, b=>, c=>", "b", "ba")
+	f.Fuzz(func(t *testing.T, etaText, homSpec, prefixS, loopS string) {
+		if len(etaText) > 256 || len(homSpec) > 256 || countIffExpansions(etaText) > 4 {
+			return
+		}
+		if len(prefixS) > 16 || len(loopS) == 0 || len(loopS) > 16 {
+			return
+		}
+		src := relive.NewAlphabet("a", "b", "c")
+		h, err := relive.ParseHom(src, homSpec)
+		if err != nil {
+			return
+		}
+		eta, err := relive.ParseLTL(etaText)
+		if err != nil || eta.Size() > 16 {
+			return
+		}
+		letters := map[string]bool{}
+		for _, n := range h.Dest().Names() {
+			letters[n] = true
+		}
+		if !eta.Normalize().IsSigmaNormalForm(letters) {
+			return // Lemma 7.5 assumes η in Σ'-normal form
+		}
+		rbar, err := relive.Rbar(eta)
+		if err != nil {
+			return
+		}
+		toWord := func(s string) (relive.Word, bool) {
+			var w relive.Word
+			for _, r := range s {
+				if r != 'a' && r != 'b' && r != 'c' {
+					return nil, false
+				}
+				w = append(w, src.Symbol(string(r)))
+			}
+			return w, true
+		}
+		prefix, ok := toWord(prefixS)
+		if !ok {
+			return
+		}
+		loop, ok := toWord(loopS)
+		if !ok {
+			return
+		}
+		x := word.MustLasso(prefix, loop)
+		hx, ok := h.ApplyLasso(x)
+		if !ok {
+			return // h(x) undefined: the lemma does not apply
+		}
+		left, err := relive.EvalLasso(rbar, x, h.Labeling())
+		if err != nil {
+			t.Fatalf("EvalLasso(R̄(η)): %v", err)
+		}
+		right, err := relive.EvalLasso(eta, hx, relive.CanonicalLabeling(h.Dest()))
+		if err != nil {
+			t.Fatalf("EvalLasso(η): %v", err)
+		}
+		if left != right {
+			t.Fatalf("R̄ preservation violated: x=%s h(x)=%s R̄(η)=%v η=%v\nη = %s\nh = %s",
+				x.String(src), hx.String(h.Dest()), left, right, eta, h)
+		}
+	})
+}

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"relive/internal/alphabet"
-	"relive/internal/gen"
+	"relive/internal/genbase"
 	"relive/internal/nfa"
 	"relive/internal/word"
 )
@@ -240,7 +240,7 @@ func TestLimitGeneral(t *testing.T) {
 	ref := infManyA(ab)
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 60; i++ {
-		l := gen.Lasso(rng, ab, 4, 3)
+		l := genbase.Lasso(rng, ab, 4, 3)
 		if got, want := b.AcceptsLasso(l), ref.AcceptsLasso(l); got != want {
 			t.Errorf("lim accepts %s = %v, want %v", l.String(ab), got, want)
 		}
@@ -294,7 +294,7 @@ func TestComplementEmptyAndUniversal(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 20; i++ {
-		l := gen.Lasso(rng, ab, 3, 3)
+		l := genbase.Lasso(rng, ab, 3, 3)
 		if !comp.AcceptsLasso(l) {
 			t.Errorf("complement of ∅ rejects %s", l.String(ab))
 		}
@@ -314,7 +314,7 @@ func TestComplementEmptyAndUniversal(t *testing.T) {
 // lasso is accepted by exactly one of the automaton and its complement.
 func TestQuickComplementPartition(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	for trial := 0; trial < 25; trial++ {
 		n := 1 + rng.Intn(4)
 		b := randomBuchi(rng, ab, n)
@@ -323,7 +323,7 @@ func TestQuickComplementPartition(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for i := 0; i < 25; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := genbase.Lasso(rng, ab, 3, 3)
 			inB := b.AcceptsLasso(l)
 			inC := comp.AcceptsLasso(l)
 			if inB == inC {
@@ -378,12 +378,12 @@ func TestLassoAutomaton(t *testing.T) {
 	ab := alphabet.FromNames("a", "b")
 	rng := rand.New(rand.NewSource(13))
 	for i := 0; i < 30; i++ {
-		l := gen.Lasso(rng, ab, 3, 3)
+		l := genbase.Lasso(rng, ab, 3, 3)
 		auto := LassoAutomaton(ab, l)
 		if !auto.AcceptsLasso(l) {
 			t.Fatalf("lasso automaton rejects its own word %s", l.String(ab))
 		}
-		other := gen.Lasso(rng, ab, 3, 3)
+		other := genbase.Lasso(rng, ab, 3, 3)
 		if got, want := auto.AcceptsLasso(other), other.Equal(l); got != want {
 			t.Fatalf("lasso automaton for %s accepts %s = %v, want %v",
 				l.String(ab), other.String(ab), got, want)

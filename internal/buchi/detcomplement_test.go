@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"relive/internal/alphabet"
-	"relive/internal/gen"
+	"relive/internal/genbase"
 	"relive/internal/nfa"
 )
 
@@ -47,7 +47,7 @@ func TestIsDeterministic(t *testing.T) {
 
 func TestComplementDeterministicAgainstRankBased(t *testing.T) {
 	rng := rand.New(rand.NewSource(191))
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	b := detInfA(ab)
 	c1, err := b.ComplementDeterministic()
 	if err != nil {
@@ -58,7 +58,7 @@ func TestComplementDeterministicAgainstRankBased(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 60; i++ {
-		l := gen.Lasso(rng, ab, 4, 4)
+		l := genbase.Lasso(rng, ab, 4, 4)
 		want := !b.AcceptsLasso(l)
 		if c1.AcceptsLasso(l) != want {
 			t.Errorf("two-copy complement wrong on %s", l.String(ab))

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"relive/internal/gen"
+	"relive/internal/genbase"
 )
 
 // TestQuickIntersectEmptyMatchesMaterialized: the on-the-fly emptiness
@@ -82,7 +82,7 @@ func TestIntersectEmptyPlainMode(t *testing.T) {
 // TestIntersectEmptyDegenerate: empty automata and empty root sets are
 // reported empty without exploration.
 func TestIntersectEmptyDegenerate(t *testing.T) {
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	empty := New(ab)
 	nonEmpty := seedBuchi(7)
 	if !IntersectEmpty(empty, nonEmpty) || !IntersectEmpty(nonEmpty, empty) {

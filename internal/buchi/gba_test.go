@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"relive/internal/alphabet"
-	"relive/internal/gen"
+	"relive/internal/genbase"
 )
 
 // TestGeneralizedInfAInfB builds a one-state GBA for "infinitely many a
@@ -77,7 +77,7 @@ func TestGeneralizedSetOutOfRange(t *testing.T) {
 // iterated binary intersection on sampled lassos.
 func TestQuickIntersectAllAgreesWithBinary(t *testing.T) {
 	rng := rand.New(rand.NewSource(181))
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	for trial := 0; trial < 25; trial++ {
 		k := 2 + rng.Intn(2)
 		autos := make([]*Buchi, k)
@@ -93,7 +93,7 @@ func TestQuickIntersectAllAgreesWithBinary(t *testing.T) {
 			binary = Intersect(binary, a)
 		}
 		for i := 0; i < 25; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := genbase.Lasso(rng, ab, 3, 3)
 			if all.AcceptsLasso(l) != binary.AcceptsLasso(l) {
 				t.Fatalf("trial %d: IntersectAll disagrees with binary intersection on %s",
 					trial, l.String(ab))

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"relive/internal/gen"
+	"relive/internal/genbase"
 	"relive/internal/word"
 )
 
@@ -13,12 +13,12 @@ import (
 // seed, letting testing/quick explore automata through integers.
 func seedBuchi(seed int64) *Buchi {
 	rng := rand.New(rand.NewSource(seed))
-	return randomBuchi(rng, gen.Letters(2), 1+rng.Intn(4))
+	return randomBuchi(rng, genbase.Letters(2), 1+rng.Intn(4))
 }
 
 func seedLasso(seed int64) word.Lasso {
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
-	return gen.Lasso(rng, gen.Letters(2), 3, 3)
+	return genbase.Lasso(rng, genbase.Letters(2), 3, 3)
 }
 
 // TestQuickIntersectCommutes: membership in A ∩ B and B ∩ A agree.

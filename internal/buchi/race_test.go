@@ -5,7 +5,7 @@ import (
 	"sync"
 	"testing"
 
-	"relive/internal/gen"
+	"relive/internal/genbase"
 )
 
 // TestCompiledSharedAcrossGoroutines shares a single automaton across
@@ -16,21 +16,21 @@ import (
 // the cache field.
 func TestCompiledSharedAcrossGoroutines(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	ab := gen.Letters(3)
-	cfg := gen.Config{States: 30, Symbols: 3, Density: 0.8, AcceptRatio: 0.3}
-	b, err := FromNFA(gen.NFA(rng, cfg, ab))
+	ab := genbase.Letters(3)
+	cfg := genbase.Config{States: 30, Symbols: 3, Density: 0.8, AcceptRatio: 0.3}
+	b, err := FromNFA(genbase.NFA(rng, cfg, ab))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.States = 15
-	other, err := FromNFA(gen.NFA(rng, cfg, ab))
+	other, err := FromNFA(genbase.NFA(rng, cfg, ab))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Inclusion complements its right operand (rank-based, exponential),
 	// so it gets a small shared pair; the polynomial procedures share the
 	// larger random automata.
-	ab2 := gen.Letters(2)
+	ab2 := genbase.Letters(2)
 	inf, fin := infManyA(ab2), finManyA(ab2)
 
 	const goroutines = 16
@@ -64,7 +64,7 @@ func TestCompiledSharedAcrossGoroutines(t *testing.T) {
 // TestCompiledInvalidatedAfterMutation pins the staleness check: a
 // mutation after a compile must not serve the stale CSR form.
 func TestCompiledInvalidatedAfterMutation(t *testing.T) {
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	b := New(ab)
 	q0 := b.AddState(false)
 	b.SetInitial(q0)

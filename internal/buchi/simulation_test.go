@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"relive/internal/alphabet"
-	"relive/internal/gen"
+	"relive/internal/genbase"
 )
 
 func TestSimulationMergesTwins(t *testing.T) {
@@ -52,7 +52,7 @@ func TestSimulationPreservesAcceptanceDistinction(t *testing.T) {
 // exactly the same lassos on random automata.
 func TestQuickSimulationQuotientPreservesLanguage(t *testing.T) {
 	rng := rand.New(rand.NewSource(161))
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	for trial := 0; trial < 50; trial++ {
 		b := randomBuchi(rng, ab, 1+rng.Intn(6))
 		q := b.QuotientBySimulation()
@@ -60,7 +60,7 @@ func TestQuickSimulationQuotientPreservesLanguage(t *testing.T) {
 			t.Fatalf("trial %d: quotient grew %d -> %d", trial, b.NumStates(), q.NumStates())
 		}
 		for i := 0; i < 25; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := genbase.Lasso(rng, ab, 3, 3)
 			if b.AcceptsLasso(l) != q.AcceptsLasso(l) {
 				t.Fatalf("trial %d: quotient changed the language on %s\noriginal:\n%s\nquotient:\n%s",
 					trial, l.String(ab), b, q)
@@ -73,7 +73,7 @@ func TestQuickSimulationQuotientPreservesLanguage(t *testing.T) {
 // from p into q, checked on sampled lassos.
 func TestQuickSimulationSoundness(t *testing.T) {
 	rng := rand.New(rand.NewSource(162))
-	ab := gen.Letters(2)
+	ab := genbase.Letters(2)
 	for trial := 0; trial < 25; trial++ {
 		b := randomBuchi(rng, ab, 1+rng.Intn(5))
 		sim := b.DirectSimulation()
@@ -86,7 +86,7 @@ func TestQuickSimulationSoundness(t *testing.T) {
 				fromP := restartAt(b, State(p))
 				fromQ := restartAt(b, State(q))
 				for i := 0; i < 10; i++ {
-					l := gen.Lasso(rng, ab, 2, 3)
+					l := genbase.Lasso(rng, ab, 2, 3)
 					if fromP.AcceptsLasso(l) && !fromQ.AcceptsLasso(l) {
 						t.Fatalf("trial %d: sim[%d][%d] but language not contained on %s",
 							trial, p, q, l.String(ab))

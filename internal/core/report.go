@@ -73,10 +73,10 @@ func CheckAllParRec(rec obs.Recorder, sys *ts.System, p Property, workers int) (
 	pl := newPipeline(rec, sys, p)
 
 	var (
-		wg  sync.WaitGroup
-		sat SatisfactionResult
-		rl  LivenessResult
-		rs  SafetyResult
+		wg   sync.WaitGroup
+		sat  SatisfactionResult
+		rl   LivenessResult
+		rs   SafetyResult
 		errs [3]error
 	)
 	wg.Add(3)

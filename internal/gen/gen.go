@@ -1,126 +1,205 @@
 // Package gen provides seeded random generators for automata, transition
-// systems, words and homomorphisms. It backs the property-based tests and
-// the scaling benchmarks, so it lives outside the _test files.
+// systems, formulas, words and homomorphisms. It backs the property-based
+// tests, the differential oracle suite and the scaling benchmarks, so it
+// lives outside the _test files.
+//
+// The word/NFA-level generators live in package genbase and are
+// re-exported here; in-package tests of the low-level model packages
+// (buchi, hom, ltl) import genbase directly to avoid a test import
+// cycle through this package.
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"relive/internal/alphabet"
+	"relive/internal/buchi"
+	"relive/internal/genbase"
+	"relive/internal/hom"
+	"relive/internal/ltl"
 	"relive/internal/nfa"
+	"relive/internal/ts"
 	"relive/internal/word"
 )
 
 // Config bounds the shape of generated automata.
-type Config struct {
-	States      int     // number of states, ≥ 1
-	Symbols     int     // alphabet size, ≥ 1
-	Density     float64 // expected transitions per (state, symbol) pair
-	AcceptRatio float64 // probability a state is accepting
-}
+type Config = genbase.Config
 
 // DefaultConfig is a small, well-connected shape good for property tests.
-func DefaultConfig() Config {
-	return Config{States: 5, Symbols: 2, Density: 0.8, AcceptRatio: 0.4}
-}
+func DefaultConfig() Config { return genbase.DefaultConfig() }
 
 // Letters returns an alphabet of n letters named a, b, c, ...
-func Letters(n int) *alphabet.Alphabet {
-	ab := alphabet.New()
-	for i := 0; i < n; i++ {
-		ab.Symbol(letterName(i))
-	}
-	return ab
-}
+func Letters(n int) *alphabet.Alphabet { return genbase.Letters(n) }
 
-func letterName(i int) string {
-	name := string(rune('a' + i%26))
-	for i >= 26 {
-		i = i/26 - 1
-		name = string(rune('a'+i%26)) + name
-	}
-	return name
-}
-
-// NFA generates a random NFA. At least one state is accepting with
-// probability AcceptRatio per state; the initial state is state 0.
+// NFA generates a random NFA; see genbase.NFA.
 func NFA(rng *rand.Rand, cfg Config, ab *alphabet.Alphabet) *nfa.NFA {
-	a := nfa.New(ab)
+	return genbase.NFA(rng, cfg, ab)
+}
+
+// DFA generates a random DFA; see genbase.DFA.
+func DFA(rng *rand.Rand, cfg Config, ab *alphabet.Alphabet) *nfa.DFA {
+	return genbase.DFA(rng, cfg, ab)
+}
+
+// Word generates a random word of the given length.
+func Word(rng *rand.Rand, ab *alphabet.Alphabet, length int) word.Word {
+	return genbase.Word(rng, ab, length)
+}
+
+// Lasso generates a random ultimately periodic ω-word with prefix length
+// up to maxPrefix and loop length in [1, maxLoop].
+func Lasso(rng *rand.Rand, ab *alphabet.Alphabet, maxPrefix, maxLoop int) word.Lasso {
+	return genbase.Lasso(rng, ab, maxPrefix, maxLoop)
+}
+
+// Lassos enumerates all ultimately periodic words u·(v)^ω over ab with
+// |u| ≤ maxPrefix and 1 ≤ |v| ≤ maxLoop; see genbase.Lassos.
+func Lassos(ab *alphabet.Alphabet, maxPrefix, maxLoop int) []word.Lasso {
+	return genbase.Lassos(ab, maxPrefix, maxLoop)
+}
+
+// Words enumerates all words over ab up to the given length, in
+// length-lexicographic order; see genbase.Words.
+func Words(ab *alphabet.Alphabet, maxLen int) []word.Word {
+	return genbase.Words(ab, maxLen)
+}
+
+// Buchi generates a random Büchi automaton. At least one state is
+// initial (state 0); states accept with probability AcceptRatio, and at
+// least one state is forced accepting so the automaton has a chance of
+// a nonempty language.
+func Buchi(rng *rand.Rand, cfg Config, ab *alphabet.Alphabet) *buchi.Buchi {
+	b := buchi.New(ab)
 	for i := 0; i < cfg.States; i++ {
-		a.AddState(rng.Float64() < cfg.AcceptRatio)
+		b.AddState(rng.Float64() < cfg.AcceptRatio)
 	}
+	b.SetAccepting(buchi.State(rng.Intn(cfg.States)), true)
 	syms := ab.Symbols()
 	for i := 0; i < cfg.States; i++ {
 		for _, sym := range syms {
-			// Poisson-ish: geometric number of targets.
 			for rng.Float64() < cfg.Density {
-				a.AddTransition(nfa.State(i), sym, nfa.State(rng.Intn(cfg.States)))
+				b.AddTransition(buchi.State(i), sym, buchi.State(rng.Intn(cfg.States)))
 				if rng.Float64() < 0.5 {
 					break
 				}
 			}
 		}
 	}
-	a.SetInitial(0)
-	return a
+	b.SetInitial(0)
+	return b
 }
 
-// DFA generates a random DFA with transitions present per symbol with
-// probability Density.
-func DFA(rng *rand.Rand, cfg Config, ab *alphabet.Alphabet) *nfa.DFA {
-	d := nfa.NewDFA(ab)
-	for i := 0; i < cfg.States; i++ {
-		d.AddState(rng.Float64() < cfg.AcceptRatio)
+// System generates a random transition system with n states over ab.
+// State s0 is initial; per (state, symbol) pair up to two transitions
+// are added with probability Density each, so most generated systems
+// are nondeterministic and some have dead states or no infinite
+// behavior at all — both interesting for the decision procedures.
+func System(rng *rand.Rand, ab *alphabet.Alphabet, n int, density float64) *ts.System {
+	s := ts.New(ab)
+	for i := 0; i < n; i++ {
+		s.AddState(fmt.Sprintf("s%d", i))
 	}
 	syms := ab.Symbols()
-	for i := 0; i < cfg.States; i++ {
+	for i := 0; i < n; i++ {
 		for _, sym := range syms {
-			if rng.Float64() < cfg.Density {
-				d.SetTransition(nfa.State(i), sym, nfa.State(rng.Intn(cfg.States)))
+			for k := 0; k < 2; k++ {
+				if rng.Float64() < density {
+					s.AddTransition(ts.State(i), sym, ts.State(rng.Intn(n)))
+				}
 			}
 		}
 	}
-	d.SetInitial(0)
-	return d
+	s.SetInitial(0)
+	return s
 }
 
-// Word generates a random word of the given length.
-func Word(rng *rand.Rand, ab *alphabet.Alphabet, length int) word.Word {
-	syms := ab.Symbols()
-	w := make(word.Word, length)
-	for i := range w {
-		w[i] = syms[rng.Intn(len(syms))]
-	}
-	return w
-}
-
-// Lasso generates a random ultimately periodic ω-word with prefix length
-// up to maxPrefix and loop length in [1, maxLoop].
-func Lasso(rng *rand.Rand, ab *alphabet.Alphabet, maxPrefix, maxLoop int) word.Lasso {
-	p := Word(rng, ab, rng.Intn(maxPrefix+1))
-	l := Word(rng, ab, 1+rng.Intn(maxLoop))
-	return word.MustLasso(p, l)
-}
-
-// Words enumerates all words over ab up to the given length, in
-// length-lexicographic order. Useful as an exhaustive oracle on tiny
-// alphabets.
-func Words(ab *alphabet.Alphabet, maxLen int) []word.Word {
-	syms := ab.Symbols()
-	out := []word.Word{{}}
-	frontier := []word.Word{{}}
-	for l := 1; l <= maxLen; l++ {
-		var next []word.Word
-		for _, w := range frontier {
-			for _, sym := range syms {
-				nw := make(word.Word, len(w)+1)
-				copy(nw, w)
-				nw[len(w)] = sym
-				next = append(next, nw)
-			}
+// Formula generates a random PLTL formula of depth at most depth whose
+// atoms are drawn from atoms. All operators of Section 3 are produced,
+// including the derived ones (◇, □, B, W), so the normalizer and the
+// translation see the full syntax.
+func Formula(rng *rand.Rand, atoms []string, depth int) *ltl.Formula {
+	if depth <= 0 || rng.Float64() < 0.25 {
+		switch rng.Intn(6) {
+		case 0:
+			return ltl.True()
+		case 1:
+			return ltl.False()
+		default:
+			return ltl.Atom(atoms[rng.Intn(len(atoms))])
 		}
-		out = append(out, next...)
-		frontier = next
 	}
-	return out
+	l := Formula(rng, atoms, depth-1)
+	r := Formula(rng, atoms, depth-1)
+	switch rng.Intn(12) {
+	case 0:
+		return ltl.Not(l)
+	case 1:
+		return ltl.And(l, r)
+	case 2:
+		return ltl.Or(l, r)
+	case 3:
+		return ltl.Implies(l, r)
+	case 4:
+		return ltl.Iff(l, r)
+	case 5:
+		return ltl.Next(l)
+	case 6:
+		return ltl.Until(l, r)
+	case 7:
+		return ltl.Release(l, r)
+	case 8:
+		return ltl.Eventually(l)
+	case 9:
+		return ltl.Globally(l)
+	case 10:
+		return ltl.Before(l, r)
+	default:
+		return ltl.WeakUntil(l, r)
+	}
+}
+
+// Hom generates a random abstracting homomorphism from src onto a fresh
+// destination alphabet: every letter is hidden with probability
+// hideProb and otherwise mapped to one of up to len(src) abstract
+// letters x0, x1, ... (several concrete letters may share an image, the
+// interesting case for simplicity of h). At least one letter is kept
+// visible so h(x) can be defined on some behavior.
+func Hom(rng *rand.Rand, src *alphabet.Alphabet, hideProb float64) *hom.Hom {
+	dst := alphabet.New()
+	h := hom.New(src, dst)
+	syms := src.Symbols()
+	visible := false
+	for _, s := range syms {
+		if rng.Float64() < hideProb {
+			h.Set(s, alphabet.Epsilon)
+			continue
+		}
+		visible = true
+		h.Set(s, dst.Symbol(fmt.Sprintf("x%d", rng.Intn(len(syms)))))
+	}
+	if !visible {
+		s := syms[rng.Intn(len(syms))]
+		h.Set(s, dst.Symbol("x0"))
+	}
+	return h
+}
+
+// IdentityHom generates a random "observe these actions" homomorphism:
+// each letter of src is kept under its own name with probability
+// 1-hideProb and hidden otherwise. Identity-style homomorphisms are
+// more often simple than general random ones, which makes them the
+// useful generator for the Theorem 8.2 direction.
+func IdentityHom(rng *rand.Rand, src *alphabet.Alphabet, hideProb float64) *hom.Hom {
+	var keep []string
+	for _, s := range src.Symbols() {
+		if rng.Float64() >= hideProb {
+			keep = append(keep, src.Name(s))
+		}
+	}
+	if len(keep) == 0 {
+		syms := src.Symbols()
+		keep = append(keep, src.Name(syms[rng.Intn(len(syms))]))
+	}
+	return hom.Identity(src, keep...)
 }

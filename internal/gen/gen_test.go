@@ -85,6 +85,77 @@ func TestWordsEnumeration(t *testing.T) {
 	}
 }
 
+func TestBuchiShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ab := Letters(2)
+	for i := 0; i < 20; i++ {
+		b := Buchi(rng, DefaultConfig(), ab)
+		if b.NumStates() != DefaultConfig().States {
+			t.Fatalf("states = %d", b.NumStates())
+		}
+		if b.NumAccepting() == 0 {
+			t.Fatal("no accepting state forced")
+		}
+		if len(b.Initial()) != 1 {
+			t.Fatalf("initial = %v", b.Initial())
+		}
+	}
+}
+
+func TestSystemShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ab := Letters(3)
+	s := System(rng, ab, 7, 0.5)
+	if s.NumStates() != 7 {
+		t.Fatalf("states = %d", s.NumStates())
+	}
+	if s.Initial() != 0 {
+		t.Fatalf("initial = %d", s.Initial())
+	}
+}
+
+func TestFormulaDepthAndAtoms(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	atoms := []string{"a", "b"}
+	for i := 0; i < 100; i++ {
+		f := Formula(rng, atoms, 3)
+		if f.Size() > 1<<5 {
+			t.Fatalf("formula too large for depth 3: size %d", f.Size())
+		}
+		for _, a := range f.Atoms() {
+			if a != "a" && a != "b" {
+				t.Fatalf("unexpected atom %q", a)
+			}
+		}
+		// The full syntax must survive normalization.
+		f.Normalize()
+	}
+}
+
+func TestHomGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := Letters(3)
+	for i := 0; i < 50; i++ {
+		h := Hom(rng, src, 0.5)
+		visible := 0
+		for _, s := range src.Symbols() {
+			if !h.Image(s).IsEpsilon() {
+				visible++
+			}
+		}
+		if visible == 0 {
+			t.Fatal("Hom hid every letter")
+		}
+		ih := IdentityHom(rng, src, 0.5)
+		for _, s := range src.Symbols() {
+			img := ih.Image(s)
+			if !img.IsEpsilon() && ih.Dest().Name(img) != src.Name(s) {
+				t.Fatalf("IdentityHom renamed %s to %s", src.Name(s), ih.Dest().Name(img))
+			}
+		}
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	ab := Letters(2)
 	a1 := NFA(rand.New(rand.NewSource(7)), DefaultConfig(), ab)

@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"relive/internal/ltl"
+	"relive/internal/ts"
+)
+
+// This file implements the greedy shrinkers the differential harness
+// uses to minimize failing (system, property) pairs before reporting
+// them. A shrinker takes a predicate that returns true while the
+// candidate still exhibits the failure and repeatedly applies the
+// smallest-step simplification that keeps the predicate true, until no
+// step applies. Predicates must be total: a candidate that makes the
+// predicate panic is treated as not reproducing the failure.
+
+// ShrinkSystem greedily minimizes sys while keep(candidate) stays true.
+// It tries, in order and to a fixpoint: dropping a single transition,
+// then dropping a non-initial state together with all its transitions.
+// The returned system still satisfies keep; if no simplification
+// applies, the input is returned unchanged.
+func ShrinkSystem(sys *ts.System, keep func(*ts.System) bool) *ts.System {
+	cur := sys
+	for {
+		next, ok := shrinkSystemStep(cur, keep)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+func shrinkSystemStep(sys *ts.System, keep func(*ts.System) bool) (*ts.System, bool) {
+	edges := sys.Edges()
+	// Drop one transition.
+	for drop := range edges {
+		cand := rebuildSystem(sys, func(st ts.State) bool { return true },
+			func(i int) bool { return i != drop })
+		if safeKeep(keep, cand) {
+			return cand, true
+		}
+	}
+	// Drop one non-initial state (with every transition touching it).
+	for st := 0; st < sys.NumStates(); st++ {
+		if ts.State(st) == sys.Initial() {
+			continue
+		}
+		dead := ts.State(st)
+		cand := rebuildSystem(sys, func(s ts.State) bool { return s != dead },
+			func(i int) bool { return edges[i].From != dead && edges[i].To != dead })
+		if safeKeep(keep, cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// rebuildSystem copies sys keeping only the states and edge indices the
+// filters admit. The alphabet is shared; state names are preserved.
+func rebuildSystem(sys *ts.System, keepState func(ts.State) bool, keepEdge func(int) bool) *ts.System {
+	out := ts.New(sys.Alphabet())
+	for i := 0; i < sys.NumStates(); i++ {
+		if keepState(ts.State(i)) {
+			out.AddState(sys.StateName(ts.State(i)))
+		}
+	}
+	for i, e := range sys.Edges() {
+		if !keepEdge(i) || !keepState(e.From) || !keepState(e.To) {
+			continue
+		}
+		from, _ := out.LookupState(sys.StateName(e.From))
+		to, _ := out.LookupState(sys.StateName(e.To))
+		out.AddTransition(from, e.Sym, to)
+	}
+	if init, ok := out.LookupState(sys.StateName(sys.Initial())); ok {
+		out.SetInitial(init)
+	}
+	return out
+}
+
+func safeKeep(keep func(*ts.System) bool, cand *ts.System) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return keep(cand)
+}
+
+// ShrinkFormula greedily minimizes f while keep(candidate) stays true,
+// trying constants, then each subformula in place of its parent, then
+// recursively shrunk children. The returned formula still satisfies
+// keep.
+func ShrinkFormula(f *ltl.Formula, keep func(*ltl.Formula) bool) *ltl.Formula {
+	cur := f
+	for {
+		next, ok := shrinkFormulaStep(cur, keep)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+func shrinkFormulaStep(f *ltl.Formula, keep func(*ltl.Formula) bool) (*ltl.Formula, bool) {
+	for _, cand := range formulaShrinks(f) {
+		if cand.Size() < f.Size() && safeKeepFormula(keep, cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// formulaShrinks returns the one-step simplifications of f: the
+// constants, each direct subformula, and f with one child replaced by
+// one of the child's own one-step simplifications.
+func formulaShrinks(f *ltl.Formula) []*ltl.Formula {
+	out := []*ltl.Formula{ltl.True(), ltl.False()}
+	if f.Left != nil {
+		out = append(out, f.Left)
+	}
+	if f.Right != nil {
+		out = append(out, f.Right)
+	}
+	if f.Left != nil {
+		for _, l := range formulaShrinks(f.Left) {
+			if l.Size() < f.Left.Size() {
+				out = append(out, rebuildFormula(f, l, f.Right))
+			}
+		}
+	}
+	if f.Right != nil {
+		for _, r := range formulaShrinks(f.Right) {
+			if r.Size() < f.Right.Size() {
+				out = append(out, rebuildFormula(f, f.Left, r))
+			}
+		}
+	}
+	return out
+}
+
+func rebuildFormula(f, left, right *ltl.Formula) *ltl.Formula {
+	return &ltl.Formula{Op: f.Op, Name: f.Name, Left: left, Right: right}
+}
+
+func safeKeepFormula(keep func(*ltl.Formula) bool, cand *ltl.Formula) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return keep(cand)
+}

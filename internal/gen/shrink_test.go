@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"relive/internal/ltl"
+	"relive/internal/ts"
+)
+
+func TestShrinkSystemKeepsPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ab := Letters(2)
+	sym := ab.Symbols()[0]
+	// Predicate: the system still has a self-loop on the initial state
+	// under the first letter.
+	keep := func(s *ts.System) bool {
+		if s.Initial() < 0 {
+			return false
+		}
+		for _, to := range s.Succ(s.Initial(), sym) {
+			if to == s.Initial() {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 10; trial++ {
+		sys := System(rng, ab, 6, 0.6)
+		sys.AddTransition(sys.Initial(), sym, sys.Initial())
+		small := ShrinkSystem(sys, keep)
+		if !keep(small) {
+			t.Fatal("shrunk system no longer satisfies the predicate")
+		}
+		// The minimum for this predicate is one state and one edge.
+		if small.NumStates() != 1 || len(small.Edges()) != 1 {
+			t.Fatalf("trial %d: expected 1 state / 1 edge, got %d states %d edges:\n%s",
+				trial, small.NumStates(), len(small.Edges()), small.FormatString())
+		}
+	}
+}
+
+func TestShrinkSystemPanickyPredicate(t *testing.T) {
+	ab := Letters(1)
+	sys := System(rand.New(rand.NewSource(3)), ab, 4, 0.8)
+	calls := 0
+	keep := func(s *ts.System) bool {
+		calls++
+		if s.NumStates() < sys.NumStates() {
+			panic("predicate exploded")
+		}
+		return true
+	}
+	out := ShrinkSystem(sys, keep)
+	if calls == 0 {
+		t.Fatal("predicate never called")
+	}
+	if out.NumStates() != sys.NumStates() {
+		t.Fatal("a panicking candidate was accepted")
+	}
+}
+
+func TestShrinkFormulaFindsCore(t *testing.T) {
+	// Predicate: the formula still mentions atom "a" under an Until.
+	keep := func(f *ltl.Formula) bool {
+		var hasAU func(g *ltl.Formula) bool
+		hasAU = func(g *ltl.Formula) bool {
+			if g == nil {
+				return false
+			}
+			if g.Op == ltl.OpUntil {
+				for _, a := range g.Atoms() {
+					if a == "a" {
+						return true
+					}
+				}
+			}
+			return hasAU(g.Left) || hasAU(g.Right)
+		}
+		return hasAU(f)
+	}
+	f := ltl.And(
+		ltl.Globally(ltl.Or(ltl.Until(ltl.Atom("b"), ltl.Atom("a")), ltl.Atom("c"))),
+		ltl.Eventually(ltl.Atom("d")))
+	small := ShrinkFormula(f, keep)
+	if !keep(small) {
+		t.Fatal("shrunk formula no longer satisfies the predicate")
+	}
+	// Minimal shape is a bare Until mentioning a: size 3.
+	if small.Size() > 3 {
+		t.Fatalf("expected minimal Until of size ≤ 3, got %s (size %d)", small, small.Size())
+	}
+}
+
+func TestShrinkFormulaRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	atoms := []string{"a", "b"}
+	for trial := 0; trial < 50; trial++ {
+		f := Formula(rng, atoms, 4)
+		wantAtom := "a"
+		keep := func(g *ltl.Formula) bool {
+			for _, a := range g.Atoms() {
+				if a == wantAtom {
+					return true
+				}
+			}
+			return false
+		}
+		if !keep(f) {
+			continue
+		}
+		small := ShrinkFormula(f, keep)
+		if !keep(small) {
+			t.Fatalf("trial %d: predicate lost", trial)
+		}
+		if small.Size() != 1 {
+			t.Fatalf("trial %d: expected the bare atom, got %s", trial, small)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package genbase holds the seeded random generators and exhaustive
+// enumerators that depend only on the leaf model packages (alphabet,
+// nfa, word). The higher-level generators — random Büchi automata,
+// transition systems, formulas, homomorphisms — live in package gen,
+// which re-exports everything here. The split keeps genbase importable
+// from the in-package tests of buchi, hom and ltl without an import
+// cycle through gen.
+package genbase
+
+import (
+	"math/rand"
+
+	"relive/internal/alphabet"
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// Config bounds the shape of generated automata.
+type Config struct {
+	States      int     // number of states, ≥ 1
+	Symbols     int     // alphabet size, ≥ 1
+	Density     float64 // expected transitions per (state, symbol) pair
+	AcceptRatio float64 // probability a state is accepting
+}
+
+// DefaultConfig is a small, well-connected shape good for property tests.
+func DefaultConfig() Config {
+	return Config{States: 5, Symbols: 2, Density: 0.8, AcceptRatio: 0.4}
+}
+
+// Letters returns an alphabet of n letters named a, b, c, ...
+func Letters(n int) *alphabet.Alphabet {
+	ab := alphabet.New()
+	for i := 0; i < n; i++ {
+		ab.Symbol(LetterName(i))
+	}
+	return ab
+}
+
+// LetterName returns the spreadsheet-style name of letter i:
+// a..z, aa, ab, ...
+func LetterName(i int) string {
+	name := string(rune('a' + i%26))
+	for i >= 26 {
+		i = i/26 - 1
+		name = string(rune('a'+i%26)) + name
+	}
+	return name
+}
+
+// NFA generates a random NFA. At least one state is accepting with
+// probability AcceptRatio per state; the initial state is state 0.
+func NFA(rng *rand.Rand, cfg Config, ab *alphabet.Alphabet) *nfa.NFA {
+	a := nfa.New(ab)
+	for i := 0; i < cfg.States; i++ {
+		a.AddState(rng.Float64() < cfg.AcceptRatio)
+	}
+	syms := ab.Symbols()
+	for i := 0; i < cfg.States; i++ {
+		for _, sym := range syms {
+			// Poisson-ish: geometric number of targets.
+			for rng.Float64() < cfg.Density {
+				a.AddTransition(nfa.State(i), sym, nfa.State(rng.Intn(cfg.States)))
+				if rng.Float64() < 0.5 {
+					break
+				}
+			}
+		}
+	}
+	a.SetInitial(0)
+	return a
+}
+
+// DFA generates a random DFA with transitions present per symbol with
+// probability Density.
+func DFA(rng *rand.Rand, cfg Config, ab *alphabet.Alphabet) *nfa.DFA {
+	d := nfa.NewDFA(ab)
+	for i := 0; i < cfg.States; i++ {
+		d.AddState(rng.Float64() < cfg.AcceptRatio)
+	}
+	syms := ab.Symbols()
+	for i := 0; i < cfg.States; i++ {
+		for _, sym := range syms {
+			if rng.Float64() < cfg.Density {
+				d.SetTransition(nfa.State(i), sym, nfa.State(rng.Intn(cfg.States)))
+			}
+		}
+	}
+	d.SetInitial(0)
+	return d
+}
+
+// Word generates a random word of the given length.
+func Word(rng *rand.Rand, ab *alphabet.Alphabet, length int) word.Word {
+	syms := ab.Symbols()
+	w := make(word.Word, length)
+	for i := range w {
+		w[i] = syms[rng.Intn(len(syms))]
+	}
+	return w
+}
+
+// Lasso generates a random ultimately periodic ω-word with prefix length
+// up to maxPrefix and loop length in [1, maxLoop].
+func Lasso(rng *rand.Rand, ab *alphabet.Alphabet, maxPrefix, maxLoop int) word.Lasso {
+	p := Word(rng, ab, rng.Intn(maxPrefix+1))
+	l := Word(rng, ab, 1+rng.Intn(maxLoop))
+	return word.MustLasso(p, l)
+}
+
+// Lassos enumerates all ultimately periodic words u·(v)^ω over ab with
+// |u| ≤ maxPrefix and 1 ≤ |v| ≤ maxLoop. Different (u, v) pairs may
+// denote the same ω-word; callers that need canonical representatives
+// should Normalize. Used by the bounded reference oracles.
+func Lassos(ab *alphabet.Alphabet, maxPrefix, maxLoop int) []word.Lasso {
+	var out []word.Lasso
+	for _, u := range Words(ab, maxPrefix) {
+		for _, v := range Words(ab, maxLoop) {
+			if len(v) == 0 {
+				continue
+			}
+			out = append(out, word.MustLasso(u, v))
+		}
+	}
+	return out
+}
+
+// Words enumerates all words over ab up to the given length, in
+// length-lexicographic order. Useful as an exhaustive oracle on tiny
+// alphabets.
+func Words(ab *alphabet.Alphabet, maxLen int) []word.Word {
+	syms := ab.Symbols()
+	out := []word.Word{{}}
+	frontier := []word.Word{{}}
+	for l := 1; l <= maxLen; l++ {
+		var next []word.Word
+		for _, w := range frontier {
+			for _, sym := range syms {
+				nw := make(word.Word, len(w)+1)
+				copy(nw, w)
+				nw[len(w)] = sym
+				next = append(next, nw)
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}

@@ -91,6 +91,9 @@ func Parse(src *alphabet.Alphabet, spec string) (*Hom, error) {
 		}
 		from := strings.TrimSpace(parts[0])
 		to := strings.TrimSpace(parts[1])
+		if from == alphabet.EpsilonName {
+			return nil, fmt.Errorf("hom: %s is not a source letter; h maps letters of Σ", alphabet.EpsilonName)
+		}
 		if _, ok := src.Lookup(from); !ok {
 			return nil, fmt.Errorf("hom: unknown source letter %q", from)
 		}

@@ -6,7 +6,7 @@ import (
 
 	"relive/internal/alphabet"
 	"relive/internal/buchi"
-	"relive/internal/gen"
+	"relive/internal/genbase"
 	"relive/internal/nfa"
 	"relive/internal/word"
 )
@@ -80,10 +80,10 @@ func TestImageNFAOnSampledWords(t *testing.T) {
 	h := testHom()
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 40; trial++ {
-		a := gen.NFA(rng, gen.Config{States: 5, Symbols: 3, Density: 0.5, AcceptRatio: 0.5}, h.Source())
+		a := genbase.NFA(rng, genbase.Config{States: 5, Symbols: 3, Density: 0.5, AcceptRatio: 0.5}, h.Source())
 		img := h.ImageNFA(a)
 		for i := 0; i < 30; i++ {
-			w := gen.Word(rng, h.Source(), rng.Intn(7))
+			w := genbase.Word(rng, h.Source(), rng.Intn(7))
 			if a.Accepts(w) && !img.Accepts(h.Apply(w)) {
 				t.Fatalf("trial %d: h(w) not in image for w=%s", trial, w.String(h.Source()))
 			}
@@ -128,7 +128,7 @@ func TestInverseImageBuchi(t *testing.T) {
 		b := randomBuchi(rng, h.Dest(), 1+rng.Intn(4))
 		inv := h.InverseImageBuchi(b)
 		for i := 0; i < 25; i++ {
-			l := gen.Lasso(rng, h.Source(), 3, 3)
+			l := genbase.Lasso(rng, h.Source(), 3, 3)
 			img, defined := h.ApplyLasso(l)
 			want := defined && b.AcceptsLasso(img)
 			if got := inv.AcceptsLasso(l); got != want {
@@ -176,7 +176,7 @@ func TestIdentityHomIsSimple(t *testing.T) {
 	h := Identity(src, "a", "b")
 	rng := rand.New(rand.NewSource(35))
 	for trial := 0; trial < 15; trial++ {
-		a := gen.NFA(rng, gen.Config{States: 4, Symbols: 2, Density: 0.6, AcceptRatio: 0.7}, src)
+		a := genbase.NFA(rng, genbase.Config{States: 4, Symbols: 2, Density: 0.6, AcceptRatio: 0.7}, src)
 		a = a.MarkAllAccepting() // prefix-closed system languages
 		res, err := h.IsSimple(a)
 		if err != nil {

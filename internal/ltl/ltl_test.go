@@ -5,9 +5,25 @@ import (
 	"testing"
 
 	"relive/internal/alphabet"
-	"relive/internal/gen"
 	"relive/internal/word"
 )
+
+// randomLasso mirrors gen.Lasso; package gen now imports ltl (for the
+// formula generator), so these in-package tests keep a local copy to
+// avoid the test import cycle.
+func randomLasso(rng *rand.Rand, ab *alphabet.Alphabet, maxPrefix, maxLoop int) word.Lasso {
+	randomWord := func(n int) word.Word {
+		syms := ab.Symbols()
+		w := make(word.Word, n)
+		for i := range w {
+			w[i] = syms[rng.Intn(len(syms))]
+		}
+		return w
+	}
+	p := randomWord(rng.Intn(maxPrefix + 1))
+	l := randomWord(1 + rng.Intn(maxLoop))
+	return word.MustLasso(p, l)
+}
 
 func lasso(ab *alphabet.Alphabet, prefix, loop string) word.Lasso {
 	toWord := func(s string) word.Word {
@@ -216,14 +232,14 @@ func randomFormula(rng *rand.Rand, atoms []string, depth int) *Formula {
 // evaluation.
 func TestQuickNormalizePreservesSemantics(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	atoms := ab.Names()
 	for trial := 0; trial < 150; trial++ {
 		f := randomFormula(rng, atoms, 3)
 		n := f.Normalize()
 		for i := 0; i < 8; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := randomLasso(rng, ab, 3, 3)
 			got1, err1 := EvalLasso(f, l, lab)
 			got2, err2 := EvalLasso(n, l, lab)
 			if err1 != nil || err2 != nil {
@@ -242,14 +258,14 @@ func TestQuickNormalizePreservesSemantics(t *testing.T) {
 // formulas and random ultimately periodic words.
 func TestQuickTranslationAgreesWithEval(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	atoms := ab.Names()
 	for trial := 0; trial < 80; trial++ {
 		f := randomFormula(rng, atoms, 3)
 		b := TranslateBuchi(f, lab)
 		for i := 0; i < 10; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := randomLasso(rng, ab, 3, 3)
 			want, err := EvalLasso(f, l, lab)
 			if err != nil {
 				t.Fatal(err)
@@ -266,7 +282,7 @@ func TestQuickTranslationAgreesWithEval(t *testing.T) {
 // sampled lassos.
 func TestQuickTranslationNegation(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	atoms := ab.Names()
 	for trial := 0; trial < 40; trial++ {
@@ -274,7 +290,7 @@ func TestQuickTranslationNegation(t *testing.T) {
 		pos := TranslateBuchi(f, lab)
 		neg := TranslateNegation(f, lab)
 		for i := 0; i < 8; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := randomLasso(rng, ab, 3, 3)
 			if pos.AcceptsLasso(l) == neg.AcceptsLasso(l) {
 				t.Fatalf("trial %d: %s and its negation agree on %s", trial, f, l.String(ab))
 			}

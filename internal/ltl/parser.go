@@ -191,9 +191,26 @@ func isIdentRune(r rune) bool {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds operator nesting so adversarial inputs (kilobytes
+// of "!", "(" or "a->a->...") fail with an error instead of unbounded
+// recursion. Every recursive production calls enter/leave, so the guard
+// also covers the right-associative binary operators.
+const maxParseDepth = 2048
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("ltl: formula nests deeper than %d", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() (token, bool) {
 	if p.pos < len(p.toks) {
@@ -226,6 +243,10 @@ func (p *parser) parseIff() (*Formula, error) {
 }
 
 func (p *parser) parseImplies() (*Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseOr()
 	if err != nil {
 		return nil, err
@@ -271,6 +292,10 @@ func (p *parser) parseAnd() (*Formula, error) {
 }
 
 func (p *parser) parseBinaryTemporal() (*Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -311,6 +336,10 @@ func (p *parser) parseBinaryTemporal() (*Formula, error) {
 }
 
 func (p *parser) parseUnary() (*Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t, ok := p.peek()
 	if !ok {
 		return nil, fmt.Errorf("ltl: unexpected end of formula")

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"relive/internal/gen"
+	"relive/internal/alphabet"
 )
 
 func TestSimplifyRules(t *testing.T) {
@@ -46,7 +46,7 @@ func TestSimplifyRules(t *testing.T) {
 // lassos and by automata-based language equivalence.
 func TestQuickSimplifyPreservesSemantics(t *testing.T) {
 	rng := rand.New(rand.NewSource(131))
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	atoms := ab.Names()
 	for trial := 0; trial < 100; trial++ {
@@ -56,7 +56,7 @@ func TestQuickSimplifyPreservesSemantics(t *testing.T) {
 			t.Errorf("Simplify grew %s (%d) to %s (%d)", f, f.Normalize().Size(), s, s.Size())
 		}
 		for i := 0; i < 10; i++ {
-			l := gen.Lasso(rng, ab, 3, 3)
+			l := randomLasso(rng, ab, 3, 3)
 			v1, err := EvalLasso(f, l, lab)
 			if err != nil {
 				t.Fatal(err)
@@ -77,7 +77,7 @@ func TestQuickSimplifyPreservesSemantics(t *testing.T) {
 }
 
 func TestSatisfiable(t *testing.T) {
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	if ok, _ := Satisfiable(MustParse("G F a"), lab); !ok {
 		t.Error("GFa unsatisfiable")
@@ -92,7 +92,7 @@ func TestSatisfiable(t *testing.T) {
 }
 
 func TestEquivalentAndImplies(t *testing.T) {
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	pairs := []struct {
 		f, g string
@@ -120,13 +120,13 @@ func TestEquivalentAndImplies(t *testing.T) {
 }
 
 func TestWeakUntilSemantics(t *testing.T) {
-	ab := gen.Letters(2)
+	ab := alphabet.FromNames("a", "b")
 	lab := Canonical(ab)
 	rng := rand.New(rand.NewSource(132))
 	w := MustParse("a W b")
 	expanded := MustParse("(a U b) | G a")
 	for i := 0; i < 60; i++ {
-		l := gen.Lasso(rng, ab, 3, 3)
+		l := randomLasso(rng, ab, 3, 3)
 		v1, err := EvalLasso(w, l, lab)
 		if err != nil {
 			t.Fatal(err)

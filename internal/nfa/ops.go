@@ -90,8 +90,8 @@ func Included(a, b *NFA) (bool, word.Word) {
 
 	in := newSetInterner(nb)
 	scratch := newStateBits(nb)
-	var setAcc []bool   // per interned set: does it contain an accepting b-state?
-	var delta []int32   // memoized subset moves, delta[set*numSyms+sym-1]; -1 = not yet computed
+	var setAcc []bool // per interned set: does it contain an accepting b-state?
+	var delta []int32 // memoized subset moves, delta[set*numSyms+sym-1]; -1 = not yet computed
 	addSet := func(set stateBits) int32 {
 		id, fresh := in.intern(set)
 		if fresh {

@@ -42,6 +42,9 @@ func Parse(r io.Reader) (*System, error) {
 			haveInit = true
 			initName = fields[1]
 		case len(fields) == 3:
+			if fields[1] == alphabet.EpsilonName {
+				return nil, fmt.Errorf("ts: line %d: %s is not a valid action name", lineNo, alphabet.EpsilonName)
+			}
 			s.AddEdge(fields[0], fields[1], fields[2])
 		default:
 			return nil, fmt.Errorf("ts: line %d: want %q or %q", lineNo, "init <state>", "<from> <action> <to>")

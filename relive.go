@@ -1,6 +1,7 @@
 package relive
 
 import (
+	"fmt"
 	"io"
 
 	"relive/internal/alphabet"
@@ -306,7 +307,21 @@ func ParseOmegaRegex(ab *Alphabet, text string) (*Buchi, error) {
 func SimplifyLTL(f *Formula) *Formula { return ltl.Simplify(f) }
 
 // EquivalentLTL reports whether two formulas agree on every ω-word over
-// the alphabet under the canonical labeling.
-func EquivalentLTL(f, g *Formula, ab *Alphabet) bool {
-	return ltl.Equivalent(f, g, ltl.Canonical(ab))
+// the alphabet under the canonical labeling. Malformed inputs — nil
+// formulas or a nil alphabet, or internal translation failures on
+// adversarial formulas — are reported as errors rather than panics, so
+// the function is safe on unvalidated (e.g. fuzzer-generated) input.
+func EquivalentLTL(f, g *Formula, ab *Alphabet) (eq bool, err error) {
+	if f == nil || g == nil {
+		return false, fmt.Errorf("relive: EquivalentLTL: nil formula")
+	}
+	if ab == nil {
+		return false, fmt.Errorf("relive: EquivalentLTL: nil alphabet")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			eq, err = false, fmt.Errorf("relive: EquivalentLTL: %v", r)
+		}
+	}()
+	return ltl.Equivalent(f, g, ltl.Canonical(ab)), nil
 }

@@ -90,11 +90,17 @@ func TestSimplifyAndEquivalent(t *testing.T) {
 	if s.String() != "true U a" {
 		t.Errorf("SimplifyLTL(FFa) = %s", s)
 	}
-	if !relive.EquivalentLTL(f, s, ab) {
-		t.Error("simplified formula not equivalent")
+	if eq, err := relive.EquivalentLTL(f, s, ab); err != nil || !eq {
+		t.Errorf("simplified formula not equivalent (eq=%v, err=%v)", eq, err)
 	}
-	if relive.EquivalentLTL(relive.MustParseLTL("F a"), relive.MustParseLTL("G a"), ab) {
-		t.Error("Fa and Ga reported equivalent")
+	if eq, err := relive.EquivalentLTL(relive.MustParseLTL("F a"), relive.MustParseLTL("G a"), ab); err != nil || eq {
+		t.Errorf("Fa and Ga reported equivalent (eq=%v, err=%v)", eq, err)
+	}
+	if _, err := relive.EquivalentLTL(nil, f, ab); err == nil {
+		t.Error("EquivalentLTL(nil, f) did not error")
+	}
+	if _, err := relive.EquivalentLTL(f, s, nil); err == nil {
+		t.Error("EquivalentLTL with nil alphabet did not error")
 	}
 }
 
