@@ -1,0 +1,97 @@
+// Command rlserve runs the checking service: an HTTP/JSON front end
+// over the relative-liveness, relative-safety, satisfaction, portfolio,
+// and abstraction decision procedures, with per-request cancellation, a
+// structural-hash keyed artifact cache, bounded-queue admission
+// control, and graceful shutdown.
+//
+// Usage:
+//
+//	rlserve -addr :8080
+//	rlserve -addr 127.0.0.1:0 -workers 8 -queue 64 -timeout 30s
+//
+// The bound address is printed to standard output once listening (so
+// ":0" can be used in scripts and tests). SIGINT/SIGTERM starts a
+// graceful drain: /healthz flips to "draining" (503), new checks are
+// rejected, in-flight checks finish, then the process exits. See
+// docs/SERVICE.md for the endpoints and wire format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relive/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the server and blocks until shutdown. A non-nil ready
+// channel receives the bound address once listening (used by tests);
+// the same address is always printed to stdout.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("rlserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port, :0 for an ephemeral port)")
+	workers := fs.Int("workers", 0, "max concurrent checks (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max queued checks beyond the running ones before shedding with 429 (0 = 64)")
+	par := fs.Int("par", 0, "per-check verdict parallelism for CheckAll (0 = serial)")
+	timeout := fs.Duration("timeout", 0, "default per-check timeout when the request sets none (0 = 60s)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight checks on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Parallelism:    *par,
+		DefaultTimeout: *timeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "rlserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "rlserve: %v, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
+		return 2
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "rlserve: drain: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "rlserve: shutdown: %v\n", err)
+		return 2
+	}
+	fmt.Fprintln(stderr, "rlserve: drained, exiting")
+	return 0
+}

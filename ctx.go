@@ -1,0 +1,106 @@
+package relive
+
+import (
+	"context"
+
+	"relive/internal/core"
+)
+
+// Context-aware entry points. Each ...Ctx function or method decides
+// exactly what its plain counterpart decides — identical verdicts and
+// witnesses — but polls ctx cooperatively inside the expensive loops
+// (trim fixpoint, Büchi products, subset-construction inclusion,
+// emptiness search), so a deadline or cancellation stops the PSPACE
+// work promptly. A cancelled check returns an error wrapping
+// context.Canceled or context.DeadlineExceeded; test with errors.Is.
+// Context errors are never conflated with verdict errors: a completed
+// check with a negative verdict returns (result, nil), and a genuine
+// verdict error is returned even when a concurrent sibling was torn
+// down by the cancellation.
+
+// CheckAllCtx is CheckAll with cooperative cancellation.
+func CheckAllCtx(ctx context.Context, sys *System, f *Formula) (*Report, error) {
+	return core.CheckAllCtx(ctx, nil, sys, core.FromFormula(f, nil), 1)
+}
+
+// CheckAllPropertyCtx is CheckAllProperty with cooperative cancellation.
+func CheckAllPropertyCtx(ctx context.Context, sys *System, p Property) (*Report, error) {
+	return core.CheckAllCtx(ctx, nil, sys, p, 1)
+}
+
+// CheckRelativeLivenessCtx is CheckRelativeLiveness with cooperative
+// cancellation.
+func CheckRelativeLivenessCtx(ctx context.Context, sys *System, f *Formula) (LivenessResult, error) {
+	return core.RelativeLivenessCtx(ctx, nil, sys, core.FromFormula(f, nil))
+}
+
+// CheckRelativeSafetyCtx is CheckRelativeSafety with cooperative
+// cancellation.
+func CheckRelativeSafetyCtx(ctx context.Context, sys *System, f *Formula) (SafetyResult, error) {
+	return core.RelativeSafetyCtx(ctx, nil, sys, core.FromFormula(f, nil))
+}
+
+// CheckSatisfiesCtx is CheckSatisfies with cooperative cancellation.
+func CheckSatisfiesCtx(ctx context.Context, sys *System, f *Formula) (SatisfactionResult, error) {
+	return core.SatisfiesCtx(ctx, nil, sys, core.FromFormula(f, nil))
+}
+
+// CheckAllCtx is the Checker's CheckAll with cooperative cancellation;
+// under WithParallelism the three verdicts run concurrently and all
+// poll the same context.
+func (c *Checker) CheckAllCtx(ctx context.Context, sys *System, f *Formula) (*Report, error) {
+	return core.CheckAllCtx(ctx, c.rec, sys, core.FromFormula(f, nil), c.par)
+}
+
+// CheckAllPropertyCtx is CheckAllCtx for a Property.
+func (c *Checker) CheckAllPropertyCtx(ctx context.Context, sys *System, p Property) (*Report, error) {
+	return core.CheckAllCtx(ctx, c.rec, sys, p, c.par)
+}
+
+// CheckRelativeLivenessCtx is the Checker's CheckRelativeLiveness with
+// cooperative cancellation.
+func (c *Checker) CheckRelativeLivenessCtx(ctx context.Context, sys *System, f *Formula) (LivenessResult, error) {
+	return core.RelativeLivenessCtx(ctx, c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckRelativeLivenessPropertyCtx is CheckRelativeLivenessCtx for a
+// Property.
+func (c *Checker) CheckRelativeLivenessPropertyCtx(ctx context.Context, sys *System, p Property) (LivenessResult, error) {
+	return core.RelativeLivenessCtx(ctx, c.rec, sys, p)
+}
+
+// CheckRelativeSafetyCtx is the Checker's CheckRelativeSafety with
+// cooperative cancellation.
+func (c *Checker) CheckRelativeSafetyCtx(ctx context.Context, sys *System, f *Formula) (SafetyResult, error) {
+	return core.RelativeSafetyCtx(ctx, c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckRelativeSafetyPropertyCtx is CheckRelativeSafetyCtx for a
+// Property.
+func (c *Checker) CheckRelativeSafetyPropertyCtx(ctx context.Context, sys *System, p Property) (SafetyResult, error) {
+	return core.RelativeSafetyCtx(ctx, c.rec, sys, p)
+}
+
+// CheckSatisfiesCtx is the Checker's CheckSatisfies with cooperative
+// cancellation.
+func (c *Checker) CheckSatisfiesCtx(ctx context.Context, sys *System, f *Formula) (SatisfactionResult, error) {
+	return core.SatisfiesCtx(ctx, c.rec, sys, core.FromFormula(f, nil))
+}
+
+// CheckSatisfiesPropertyCtx is CheckSatisfiesCtx for a Property.
+func (c *Checker) CheckSatisfiesPropertyCtx(ctx context.Context, sys *System, p Property) (SatisfactionResult, error) {
+	return core.SatisfiesCtx(ctx, c.rec, sys, p)
+}
+
+// CheckPropertyPortfolioCtx is CheckPropertyPortfolio with cooperative
+// cancellation: running checks poll ctx and not-yet-started jobs are
+// abandoned once it expires.
+func (c *Checker) CheckPropertyPortfolioCtx(ctx context.Context, sys *System, props []Property) ([]*Report, error) {
+	return core.CheckPortfolioCtx(ctx, c.rec, sys, props, c.portfolioWorkers())
+}
+
+// CheckSystemsPortfolioCtx is CheckSystemsPortfolio with cooperative
+// cancellation.
+func (c *Checker) CheckSystemsPortfolioCtx(ctx context.Context, systems []*System, p Property) ([]*Report, error) {
+	return core.CheckSystemsPortfolioCtx(ctx, c.rec, systems, p, c.portfolioWorkers())
+}

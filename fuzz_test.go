@@ -1,13 +1,19 @@
 package relive_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"relive"
 	"relive/internal/core"
 	"relive/internal/genbase"
 	"relive/internal/oracle"
+	"relive/internal/serve"
 	"relive/internal/word"
 )
 
@@ -308,4 +314,92 @@ func FuzzRbarPreservation(f *testing.F) {
 				x.String(src), hx.String(h.Dest()), left, right, eta, h)
 		}
 	})
+}
+
+// FuzzServeRequest fuzzes the checking service's wire layer: arbitrary
+// bytes go through the strict decoders, and everything that decodes is
+// (a) checked against the decoder's own validation contract, (b)
+// re-marshaled and re-decoded (wire round-trip), and (c) for small
+// systems, served end to end through the in-process handler, which must
+// answer with a well-formed JSON response and never panic or hang.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"system":"init idle\nidle request busy\nbusy result idle\n","ltl":"G F result"}`))
+	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","omega":"( a ) ^w"}`))
+	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","ltls":["G F a","F a"],"no_cache":true}`))
+	f.Add([]byte(`{"system":"init s0\ns0 a s0\ns0 b s1\ns1 a s0\n","hom":"a=>x, b=>","eta":"G F x"}`))
+	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","ltl":"G a","timeout_ms":100}`))
+	f.Add([]byte(`{"system":"","ltl":""}`))
+	f.Add([]byte(`not json at all`))
+
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 8, DefaultTimeout: 2 * time.Second})
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			return
+		}
+		if req, err := serve.DecodeCheckRequest(data); err == nil {
+			if req.System == "" {
+				t.Fatalf("decoder accepted empty system: %q", data)
+			}
+			if (req.LTL == "") == (req.Omega == "") {
+				t.Fatalf("decoder accepted bad ltl/omega combination: %q", data)
+			}
+			if req.TimeoutMS < 0 {
+				t.Fatalf("decoder accepted negative timeout: %q", data)
+			}
+			redecodeServe(t, req, func(b []byte) error { _, err := serve.DecodeCheckRequest(b); return err })
+			if len(req.System) <= 512 && len(req.LTL)+len(req.Omega) <= 128 {
+				req.TimeoutMS = 1000
+				serveOnce(t, handler, "/v1/check/all", req)
+			}
+		}
+		if req, err := serve.DecodePortfolioRequest(data); err == nil {
+			if req.System == "" || len(req.LTLs)+len(req.Omegas) == 0 {
+				t.Fatalf("portfolio decoder accepted invalid request: %q", data)
+			}
+			redecodeServe(t, req, func(b []byte) error { _, err := serve.DecodePortfolioRequest(b); return err })
+		}
+		if req, err := serve.DecodeAbstractionRequest(data); err == nil {
+			if req.System == "" || req.Hom == "" || req.Eta == "" {
+				t.Fatalf("abstraction decoder accepted invalid request: %q", data)
+			}
+			redecodeServe(t, req, func(b []byte) error { _, err := serve.DecodeAbstractionRequest(b); return err })
+		}
+	})
+}
+
+// redecodeServe asserts the wire round-trip law: a decoded request
+// re-marshals to bytes its own decoder accepts.
+func redecodeServe(t *testing.T, req any, decode func([]byte) error) {
+	t.Helper()
+	out, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if err := decode(out); err != nil {
+		t.Fatalf("re-marshaled request %s rejected by its own decoder: %v", out, err)
+	}
+}
+
+// serveOnce pushes a decoded request through the in-process handler and
+// requires a known status plus a JSON body.
+func serveOnce(t *testing.T, handler http.Handler, path string, req any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+	switch rec.Code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests,
+		http.StatusInternalServerError, http.StatusGatewayTimeout:
+	default:
+		t.Fatalf("unexpected status %d for %s: %s", rec.Code, body, rec.Body.String())
+	}
+	var v any
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("status %d body is not JSON: %q", rec.Code, rec.Body.String())
+	}
 }

@@ -7,6 +7,7 @@
 package buchi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"relive/internal/alphabet"
 	"relive/internal/graph"
+	"relive/internal/interrupt"
 	"relive/internal/nfa"
 	"relive/internal/word"
 )
@@ -402,8 +404,17 @@ func (b *Buchi) PrefixNFA() *nfa.NFA {
 // standard two-track product. When either operand has every state
 // accepting (a "safety" automaton), the plain product is used instead.
 func Intersect(a, c *Buchi) *Buchi {
+	out, _ := IntersectCtx(nil, a, c)
+	return out
+}
+
+// IntersectCtx is Intersect with a cooperative cancellation checkpoint
+// inside the product-construction loop: the product of two automata is
+// quadratic in their sizes, and a context deadline must be able to stop
+// it mid-build. A nil ctx never cancels.
+func IntersectCtx(ctx context.Context, a, c *Buchi) (*Buchi, error) {
 	if a.allAccepting() || c.allAccepting() {
-		return plainProduct(a, c)
+		return plainProductCtx(ctx, a, c)
 	}
 	out := New(a.ab)
 	ca, cc := a.compiled(), c.compiled()
@@ -428,7 +439,11 @@ func Intersect(a, c *Buchi) *Buchi {
 		}
 	}
 	syms := a.ab.Size()
+	var tick interrupt.Tick
 	for qi := 0; qi < len(queue); qi++ {
+		if err := tick.Poll(ctx); err != nil {
+			return nil, err
+		}
 		k := queue[qi]
 		from := index[k]
 		track := k.track
@@ -450,7 +465,7 @@ func Intersect(a, c *Buchi) *Buchi {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (b *Buchi) allAccepting() bool {
@@ -462,9 +477,10 @@ func (b *Buchi) allAccepting() bool {
 	return len(b.accepting) > 0
 }
 
-// plainProduct builds the synchronous product with conjunction of
-// acceptance; correct when one operand accepts with every state.
-func plainProduct(a, c *Buchi) *Buchi {
+// plainProductCtx builds the synchronous product with conjunction of
+// acceptance; correct when one operand accepts with every state. The
+// construction loop polls ctx (nil never cancels).
+func plainProductCtx(ctx context.Context, a, c *Buchi) (*Buchi, error) {
 	out := New(a.ab)
 	ca, cc := a.compiled(), c.compiled()
 	type pair struct{ x, y State }
@@ -485,7 +501,11 @@ func plainProduct(a, c *Buchi) *Buchi {
 		}
 	}
 	syms := a.ab.Size()
+	var tick interrupt.Tick
 	for qi := 0; qi < len(queue); qi++ {
+		if err := tick.Poll(ctx); err != nil {
+			return nil, err
+		}
 		p := queue[qi]
 		from := index[p]
 		for sym := 1; sym <= syms; sym++ {
@@ -501,7 +521,7 @@ func plainProduct(a, c *Buchi) *Buchi {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Union returns a Büchi automaton for L_ω(a) ∪ L_ω(c) by disjoint union.

@@ -1,7 +1,10 @@
 package buchi
 
 import (
+	"context"
+
 	"relive/internal/alphabet"
+	"relive/internal/interrupt"
 	"relive/internal/word"
 )
 
@@ -115,14 +118,17 @@ func (e *explorer) expand(id int32) []pedge {
 // search runs Tarjan over the lazily expanded product, returning the
 // members of the first nontrivial SCC containing an accepting state, or
 // nil when the intersection is empty. Exploration stops as soon as the
-// component is found.
-func (e *explorer) search() []int32 {
+// component is found, or — with a non-nil ctx — as soon as the context
+// is cancelled, which is the cooperative cancellation checkpoint of the
+// emptiness loop.
+func (e *explorer) search(ctx context.Context) ([]int32, error) {
 	const unvisited = -1
 	var (
 		index, low []int32
 		onStack    []bool
 		stack      []int32
 		counter    int32
+		tick       interrupt.Tick
 	)
 	// Grow the per-state Tarjan arrays in step with interning.
 	ensure := func(id int32) {
@@ -150,6 +156,9 @@ func (e *explorer) search() []int32 {
 		}
 		callStack := []frame{{v: root, next: -1}}
 		for len(callStack) > 0 {
+			if err := tick.Poll(ctx); err != nil {
+				return nil, err
+			}
 			f := &callStack[len(callStack)-1]
 			if f.next < 0 {
 				ensure(f.v)
@@ -193,7 +202,7 @@ func (e *explorer) search() []int32 {
 					}
 				}
 				if e.acceptingComponent(comp) {
-					return comp
+					return comp, nil
 				}
 			}
 			v := f.v
@@ -206,7 +215,7 @@ func (e *explorer) search() []int32 {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // acceptingComponent reports whether comp is nontrivial (carries a
@@ -307,8 +316,9 @@ func (e *explorer) cycleWord(target int32, comp []int32) word.Word {
 // entry points. ainit/cinit override the operands' initial states (nil
 // means use their own), which lets the decision procedures ask about
 // restarted automata without cloning them. It returns the number of
-// product states explored for instrumentation.
-func intersectLasso(a, c *Buchi, ainit, cinit []State) (word.Lasso, int, bool) {
+// product states explored for instrumentation. A non-nil ctx is polled
+// inside the search; its error aborts the exploration.
+func intersectLasso(ctx context.Context, a, c *Buchi, ainit, cinit []State) (word.Lasso, int, bool, error) {
 	if ainit == nil {
 		ainit = a.initial
 	}
@@ -316,14 +326,17 @@ func intersectLasso(a, c *Buchi, ainit, cinit []State) (word.Lasso, int, bool) {
 		cinit = c.initial
 	}
 	if len(ainit) == 0 || len(cinit) == 0 || a.NumStates() == 0 || c.NumStates() == 0 {
-		return word.Lasso{}, 0, false
+		return word.Lasso{}, 0, false, nil
 	}
 	e := newExplorer(a, c, ainit, cinit)
-	comp := e.search()
-	if comp == nil {
-		return word.Lasso{}, len(e.states), false
+	comp, err := e.search(ctx)
+	if err != nil {
+		return word.Lasso{}, len(e.states), false, err
 	}
-	return e.witness(comp), len(e.states), true
+	if comp == nil {
+		return word.Lasso{}, len(e.states), false, nil
+	}
+	return e.witness(comp), len(e.states), true, nil
 }
 
 // IntersectLasso returns an ultimately periodic word accepted by both a
@@ -331,15 +344,29 @@ func intersectLasso(a, c *Buchi, ainit, cinit []State) (word.Lasso, int, bool) {
 // Intersect(a, c).AcceptingLasso() but explores the product on the fly
 // and stops at the first accepting cycle.
 func IntersectLasso(a, c *Buchi) (word.Lasso, bool) {
-	l, _, ok := intersectLasso(a, c, nil, nil)
+	l, _, ok, _ := intersectLasso(nil, a, c, nil, nil)
 	return l, ok
+}
+
+// IntersectLassoCtx is IntersectLasso with a cooperative cancellation
+// checkpoint inside the product exploration. A nil ctx never cancels.
+func IntersectLassoCtx(ctx context.Context, a, c *Buchi) (word.Lasso, bool, error) {
+	l, _, ok, err := intersectLasso(ctx, a, c, nil, nil)
+	return l, ok, err
 }
 
 // IntersectEmpty reports whether L_ω(a) ∩ L_ω(c) is empty, without
 // materializing the product.
 func IntersectEmpty(a, c *Buchi) bool {
-	_, _, ok := intersectLasso(a, c, nil, nil)
+	_, _, ok, _ := intersectLasso(nil, a, c, nil, nil)
 	return !ok
+}
+
+// IntersectEmptyCtx is IntersectEmpty with a cooperative cancellation
+// checkpoint inside the product exploration. A nil ctx never cancels.
+func IntersectEmptyCtx(ctx context.Context, a, c *Buchi) (bool, error) {
+	_, _, ok, err := intersectLasso(ctx, a, c, nil, nil)
+	return !ok, err
 }
 
 // IntersectEmptyFrom is IntersectEmpty with the exploration started
@@ -348,13 +375,13 @@ func IntersectEmpty(a, c *Buchi) bool {
 // both automata restart from configuration (p, q)?" use this in place
 // of cloning and re-rooting the operands per configuration.
 func IntersectEmptyFrom(a, c *Buchi, ainit, cinit []State) bool {
-	_, _, ok := intersectLasso(a, c, ainit, cinit)
+	_, _, ok, _ := intersectLasso(nil, a, c, ainit, cinit)
 	return !ok
 }
 
 // IntersectLassoFrom is IntersectLasso started from the given operand
 // states (nil means the automaton's own initial states).
 func IntersectLassoFrom(a, c *Buchi, ainit, cinit []State) (word.Lasso, bool) {
-	l, _, ok := intersectLasso(a, c, ainit, cinit)
+	l, _, ok, _ := intersectLasso(nil, a, c, ainit, cinit)
 	return l, ok
 }

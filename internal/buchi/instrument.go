@@ -1,6 +1,8 @@
 package buchi
 
 import (
+	"context"
+
 	"relive/internal/nfa"
 	"relive/internal/obs"
 	"relive/internal/word"
@@ -16,8 +18,15 @@ import (
 // plus its duration, and bumps the counters
 // "buchi.<operation>.calls" and "buchi.states_built" (cumulative output
 // states — the blowup measure for the PSPACE-dominated pipeline).
+//
+// A non-nil Ctx makes the construction and emptiness loops of the
+// ...Ctx methods cooperatively cancellable: they poll the context and
+// return its error, so per-request deadlines and client disconnects
+// actually stop the PSPACE work. A nil Ctx never cancels; the methods
+// without a Ctx suffix ignore the field entirely.
 type Ops struct {
 	Rec obs.Recorder
+	Ctx context.Context
 }
 
 // finish attaches output sizes, accumulates blowup counters, and ends
@@ -41,6 +50,25 @@ func (o Ops) Intersect(a, c *Buchi) *Buchi {
 	out := Intersect(a, c)
 	o.finish(sp, "buchi.intersect", out)
 	return out
+}
+
+// IntersectCtx is Intersect with instrumentation and cooperative
+// cancellation from o.Ctx inside the product-construction loop.
+func (o Ops) IntersectCtx(a, c *Buchi) (*Buchi, error) {
+	if o.Rec == nil {
+		return IntersectCtx(o.Ctx, a, c)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.Intersect").
+		Int("left_states", int64(a.NumStates())).
+		Int("right_states", int64(c.NumStates()))
+	out, err := IntersectCtx(o.Ctx, a, c)
+	if err != nil {
+		sp.Tag("aborted", "context")
+		sp.End()
+		return nil, err
+	}
+	o.finish(sp, "buchi.intersect", out)
+	return out, nil
 }
 
 // Union is Union with instrumentation.
@@ -196,7 +224,7 @@ func (o Ops) IntersectLasso(a, c *Buchi) (word.Lasso, bool) {
 	sp := obs.StartSpan(o.Rec, "buchi.IntersectEmpty").
 		Int("left_states", int64(a.NumStates())).
 		Int("right_states", int64(c.NumStates()))
-	l, explored, ok := intersectLasso(a, c, nil, nil)
+	l, explored, ok, _ := intersectLasso(nil, a, c, nil, nil)
 	empty := int64(1)
 	if ok {
 		empty = 0
@@ -206,6 +234,32 @@ func (o Ops) IntersectLasso(a, c *Buchi) (word.Lasso, bool) {
 	obs.Count(o.Rec, "buchi.emptiness.calls", 1)
 	sp.End()
 	return l, ok
+}
+
+// IntersectLassoCtx is IntersectLasso with instrumentation and
+// cooperative cancellation from o.Ctx inside the emptiness search.
+func (o Ops) IntersectLassoCtx(a, c *Buchi) (word.Lasso, bool, error) {
+	if o.Rec == nil {
+		return IntersectLassoCtx(o.Ctx, a, c)
+	}
+	sp := obs.StartSpan(o.Rec, "buchi.IntersectEmpty").
+		Int("left_states", int64(a.NumStates())).
+		Int("right_states", int64(c.NumStates()))
+	l, explored, ok, err := intersectLasso(o.Ctx, a, c, nil, nil)
+	sp.Int("explored_states", int64(explored))
+	if err != nil {
+		sp.Tag("aborted", "context")
+		sp.End()
+		return word.Lasso{}, false, err
+	}
+	empty := int64(1)
+	if ok {
+		empty = 0
+	}
+	sp.Int("empty", empty)
+	obs.Count(o.Rec, "buchi.emptiness.calls", 1)
+	sp.End()
+	return l, ok, nil
 }
 
 // IntersectEmpty is IntersectEmpty with instrumentation.

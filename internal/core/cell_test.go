@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCellSingleFlight: concurrent getters coalesce onto one build and
+// all see the same value.
+func TestCellSingleFlight(t *testing.T) {
+	var c cell[int]
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.get(nil, func() (int, error) {
+				builds.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("get = (%d, %v), want (42, nil)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1", n)
+	}
+}
+
+// TestCellContextErrorNotMemoized: a builder aborted by its own context
+// must not poison the cell; the next caller rebuilds and succeeds.
+func TestCellContextErrorNotMemoized(t *testing.T) {
+	var c cell[int]
+	var builds atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.get(ctx, func() (int, error) {
+		builds.Add(1)
+		return 0, fmt.Errorf("product aborted: %w", ctx.Err())
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("first get err = %v, want context.Canceled", err)
+	}
+	v, err := c.get(nil, func() (int, error) {
+		builds.Add(1)
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("second get = (%d, %v), want (7, nil)", v, err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("builds = %d, want 2 (cancelled build must not be memoized)", n)
+	}
+}
+
+// TestCellVerdictErrorMemoized: deterministic (non-context) failures ARE
+// memoized — retrying a doomed construction would loop forever.
+func TestCellVerdictErrorMemoized(t *testing.T) {
+	var c cell[int]
+	var builds atomic.Int64
+	boom := errors.New("translation failed")
+	for i := 0; i < 3; i++ {
+		_, err := c.get(nil, func() (int, error) {
+			builds.Add(1)
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("get err = %v, want %v", err, boom)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1 (verdict errors memoize)", n)
+	}
+}
+
+// TestCellWaiterAbandonsOnOwnContext: a waiter whose context expires
+// while another goroutine builds gets its own context error promptly,
+// while the leader's result is still memoized for later callers.
+func TestCellWaiterAbandonsOnOwnContext(t *testing.T) {
+	var c cell[int]
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.get(nil, func() (int, error) {
+			close(leaderStarted)
+			<-release
+			return 9, nil
+		})
+	}()
+	<-leaderStarted
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.get(ctx, func() (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	v, err := c.get(nil, func() (int, error) {
+		t.Error("rebuild after successful leader")
+		return 0, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("get after leader = (%d, %v), want (9, nil)", v, err)
+	}
+}
+
+// TestCellCancelledLeaderWakesWaiters: when the leader aborts on its
+// context, a patient waiter becomes the new leader and succeeds.
+func TestCellCancelledLeaderWakesWaiters(t *testing.T) {
+	var c cell[int]
+	leaderStarted := make(chan struct{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	go func() {
+		c.get(leaderCtx, func() (int, error) {
+			close(leaderStarted)
+			<-leaderCtx.Done()
+			return 0, leaderCtx.Err()
+		})
+	}()
+	<-leaderStarted
+	done := make(chan int)
+	go func() {
+		v, err := c.get(nil, func() (int, error) { return 11, nil })
+		if err != nil {
+			t.Errorf("waiter-turned-leader err = %v", err)
+		}
+		done <- v
+	}()
+	cancelLeader()
+	select {
+	case v := <-done:
+		if v != 11 {
+			t.Fatalf("waiter-turned-leader got %d, want 11", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never took over after leader cancellation")
+	}
+}
+
+// TestIsContextError pins the service-critical boundary: context
+// sentinels (wrapped or not) are context errors, everything else is
+// not.
+func TestIsContextError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{context.Canceled, true},
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("relative safety: %w", context.Canceled), true},
+		{fmt.Errorf("ts: trim: %w", context.DeadlineExceeded), true},
+		{errors.New("context canceled"), false}, // textual lookalike, not the sentinel
+		{errors.New("translation failed"), false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := isContextError(tc.err); got != tc.want {
+			t.Errorf("isContextError(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sync"
+	"context"
 
 	"relive/internal/alphabet"
 	"relive/internal/buchi"
@@ -10,28 +10,35 @@ import (
 	"relive/internal/ts"
 )
 
+// limArtifacts is the value of the limits cell: the trimmed system and
+// its behavior automaton lim(L). A nil trimmed system (with nil error)
+// is the vacuous case — sys has no infinite behavior at all.
+type limArtifacts struct {
+	trimmed   *ts.System
+	behaviors *buchi.Buchi
+}
+
 // limitsCell is the single-flight memo for the trimmed system and its
 // behavior automaton lim(L). It is shared by every pipeline checking
 // the same system, so a property portfolio trims the system and builds
-// lim(L) exactly once regardless of how many workers race into it.
+// lim(L) exactly once regardless of how many workers race into it; the
+// serving layer additionally keeps these cells in its LRU so the
+// artifacts survive across requests.
 type limitsCell struct {
 	sys *ts.System
-
-	once      sync.Once
-	trimmed   *ts.System // nil (with nil error): no infinite behavior
-	behaviors *buchi.Buchi
-	err       error
+	c   cell[limArtifacts]
 }
 
 func newLimitsCell(sys *ts.System) *limitsCell {
 	return &limitsCell{sys: sys}
 }
 
-func (c *limitsCell) get(rec obs.Recorder) (*ts.System, *buchi.Buchi, error) {
-	c.once.Do(func() {
-		c.trimmed, c.behaviors, c.err = trimmedBehaviors(rec, c.sys)
+func (c *limitsCell) get(ctx context.Context, rec obs.Recorder) (*ts.System, *buchi.Buchi, error) {
+	v, err := c.c.get(ctx, func() (limArtifacts, error) {
+		trimmed, behaviors, err := trimmedBehaviors(ctx, rec, c.sys)
+		return limArtifacts{trimmed: trimmed, behaviors: behaviors}, err
 	})
-	return c.trimmed, c.behaviors, c.err
+	return v.trimmed, v.behaviors, err
 }
 
 // propCell is the single-flight memo for the property automaton P and
@@ -42,52 +49,47 @@ type propCell struct {
 	p  Property
 	ab *alphabet.Alphabet
 
-	paOnce sync.Once
-	pa     *buchi.Buchi
-	paErr  error
-
-	notPOnce sync.Once
-	notP     *buchi.Buchi
-	notPErr  error
+	pa   cell[*buchi.Buchi]
+	notP cell[*buchi.Buchi]
 }
 
-func (c *propCell) automaton(rec obs.Recorder) (*buchi.Buchi, error) {
-	c.paOnce.Do(func() {
-		c.pa, c.paErr = c.p.AutomatonRec(rec, c.ab)
+func (c *propCell) automaton(ctx context.Context, rec obs.Recorder) (*buchi.Buchi, error) {
+	return c.pa.get(ctx, func() (*buchi.Buchi, error) {
+		return c.p.AutomatonRec(rec, c.ab)
 	})
-	return c.pa, c.paErr
 }
 
-func (c *propCell) negation(rec obs.Recorder) (*buchi.Buchi, error) {
-	c.notPOnce.Do(func() {
-		c.notP, c.notPErr = c.p.NegationAutomatonRec(rec, c.ab)
+func (c *propCell) negation(ctx context.Context, rec obs.Recorder) (*buchi.Buchi, error) {
+	return c.notP.get(ctx, func() (*buchi.Buchi, error) {
+		return c.p.NegationAutomatonRec(rec, c.ab)
 	})
-	return c.notP, c.notPErr
 }
 
 // shared holds the single-flight artifact cells one (system, property)
 // check fans out over: lim(L), P→Büchi, ¬P, and pre(L∩P). Each cell is
 // built exactly once no matter which goroutine arrives first; the
 // instrumentation span for an artifact is emitted by (and attributed
-// to) whichever goroutine wins the race to build it.
+// to) whichever goroutine wins the race to build it. A builder whose
+// context is cancelled mid-build leaves the cell empty for the next
+// request (see cell).
 type shared struct {
 	sys  *ts.System
 	lim  *limitsCell
 	prop *propCell
 
-	prodOnce sync.Once
-	preLP    *nfa.NFA // pre(L∩P): trim(PrefixNFA(behaviors ∩ P))
-	prodErr  error
+	prod cell[*nfa.NFA] // pre(L∩P): trim(PrefixNFA(behaviors ∩ P))
 }
 
 // pipeline is one goroutine's view of a shared artifact set: the
-// single-flight cells plus the recorder this goroutine's spans go to.
-// The Section 4 decision procedures (satisfaction, relative liveness,
-// relative safety) each take a pipeline; CheckAll hands all three the
-// same shared cells so each artifact — previously rebuilt by every
-// procedure — is constructed exactly once per check, even when the
-// three verdicts run concurrently.
+// single-flight cells plus the recorder this goroutine's spans go to
+// and the context its loops poll. The Section 4 decision procedures
+// (satisfaction, relative liveness, relative safety) each take a
+// pipeline; CheckAll hands all three the same shared cells so each
+// artifact — previously rebuilt by every procedure — is constructed
+// exactly once per check, even when the three verdicts run
+// concurrently. A nil ctx never cancels (the plain serial path).
 type pipeline struct {
+	ctx context.Context
 	rec obs.Recorder
 	sys *ts.System
 	p   Property
@@ -96,50 +98,61 @@ type pipeline struct {
 }
 
 func newPipeline(rec obs.Recorder, sys *ts.System, p Property) *pipeline {
+	return newPipelineCtx(nil, rec, sys, p)
+}
+
+func newPipelineCtx(ctx context.Context, rec obs.Recorder, sys *ts.System, p Property) *pipeline {
 	sh := &shared{
 		sys:  sys,
 		lim:  newLimitsCell(sys),
 		prop: &propCell{p: p, ab: sys.Alphabet()},
 	}
-	return &pipeline{rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec}, sh: sh}
+	return &pipeline{ctx: ctx, rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx}, sh: sh}
 }
 
 // newPipelineSharing builds a pipeline over pre-existing cells. Portfolio
 // checks use it to share lim(L) across properties (lim non-nil) or the
 // property automata across systems (prop non-nil); nil cells are created
 // fresh.
-func newPipelineSharing(rec obs.Recorder, sys *ts.System, p Property, lim *limitsCell, prop *propCell) *pipeline {
+func newPipelineSharing(ctx context.Context, rec obs.Recorder, sys *ts.System, p Property, lim *limitsCell, prop *propCell) *pipeline {
 	if lim == nil {
 		lim = newLimitsCell(sys)
 	}
 	if prop == nil {
 		prop = &propCell{p: p, ab: sys.Alphabet()}
 	}
-	return &pipeline{rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec}, sh: &shared{sys: sys, lim: lim, prop: prop}}
+	return &pipeline{ctx: ctx, rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx},
+		sh: &shared{sys: sys, lim: lim, prop: prop}}
 }
 
 // view returns a pipeline over the same shared cells whose spans are
 // reported to rec instead. CheckAll's parallel mode gives each verdict
 // goroutine its own per-worker view.
 func (pl *pipeline) view(rec obs.Recorder) *pipeline {
-	return &pipeline{rec: rec, sys: pl.sys, p: pl.p, ops: buchi.Ops{Rec: rec}, sh: pl.sh}
+	return &pipeline{ctx: pl.ctx, rec: rec, sys: pl.sys, p: pl.p, ops: buchi.Ops{Rec: rec, Ctx: pl.ctx}, sh: pl.sh}
+}
+
+// viewCells returns a pipeline over an externally cached shared-cell
+// set (see PipelineCells), attributing spans to rec and polling ctx.
+func viewCells(ctx context.Context, rec obs.Recorder, sh *shared, p Property) *pipeline {
+	return &pipeline{ctx: ctx, rec: rec, sys: sh.sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx}, sh: sh}
 }
 
 // limits returns the trimmed system and its behavior automaton lim(L).
 // A nil trimmed system (with nil error) signals the vacuous case: sys
 // has no infinite behavior at all.
 func (pl *pipeline) limits() (*ts.System, *buchi.Buchi, error) {
-	return pl.sh.lim.get(pl.rec)
+	return pl.sh.lim.get(pl.ctx, pl.rec)
 }
 
 // property returns the Büchi automaton for P.
 func (pl *pipeline) property() (*buchi.Buchi, error) {
-	return pl.sh.prop.automaton(pl.rec)
+	return pl.sh.prop.automaton(pl.ctx, pl.rec)
 }
 
 // negation returns the Büchi automaton for ¬P.
 func (pl *pipeline) negation() (*buchi.Buchi, error) {
-	return pl.sh.prop.negation(pl.rec)
+	return pl.sh.prop.negation(pl.ctx, pl.rec)
 }
 
 // preProduct returns pre(L∩P), the prefix language of the reduced
@@ -148,23 +161,27 @@ func (pl *pipeline) negation() (*buchi.Buchi, error) {
 // states exactly when L_ω ∩ P = ∅. Must not be called in the vacuous
 // case (nil trimmed system).
 func (pl *pipeline) preProduct() (*nfa.NFA, error) {
-	pl.sh.prodOnce.Do(func() {
+	return pl.sh.prod.get(pl.ctx, func() (*nfa.NFA, error) {
 		_, behaviors, err := pl.limits()
 		if err != nil {
-			pl.sh.prodErr = err
-			return
+			return nil, err
 		}
 		pa, err := pl.property()
 		if err != nil {
-			pl.sh.prodErr = err
-			return
+			return nil, err
 		}
 		psp := obs.StartSpan(pl.rec, "pre(L∩P)").
 			Int("behavior_states", int64(behaviors.NumStates())).
 			Int("property_states", int64(pa.NumStates()))
-		pl.sh.preLP = pl.ops.PrefixNFA(pl.ops.Intersect(behaviors, pa)).Trim()
-		psp.Int("out_states", int64(pl.sh.preLP.NumStates()))
+		prod, err := pl.ops.IntersectCtx(behaviors, pa)
+		if err != nil {
+			psp.Tag("aborted", "context")
+			psp.End()
+			return nil, err
+		}
+		preLP := pl.ops.PrefixNFA(prod).Trim()
+		psp.Int("out_states", int64(preLP.NumStates()))
 		psp.End()
+		return preLP, nil
 	})
-	return pl.sh.preLP, pl.sh.prodErr
 }

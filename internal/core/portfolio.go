@@ -35,7 +35,7 @@ func CheckPortfolioRec(rec obs.Recorder, sys *ts.System, props []Property, worke
 	reports := make([]*Report, len(props))
 	errs := make([]error, len(props))
 	run := func(rec obs.Recorder, i int) {
-		pl := newPipelineSharing(rec, sys, props[i], lim, nil)
+		pl := newPipelineSharing(nil, rec, sys, props[i], lim, nil)
 		csp := obs.StartSpan(rec, "core.CheckAll").
 			Tag("paper", "Section 4 (cross-checked via Theorem 4.7)").
 			Tag("property", props[i].String())
@@ -69,17 +69,11 @@ func CheckSystemsPortfolioRec(rec obs.Recorder, systems []*ts.System, p Property
 	sp := obs.StartSpan(rec, "core.CheckSystemsPortfolio").
 		Int("systems", int64(len(systems)))
 	defer sp.End()
-	cells := map[*alphabet.Alphabet]*propCell{}
-	for _, sys := range systems {
-		ab := sys.Alphabet()
-		if cells[ab] == nil {
-			cells[ab] = &propCell{p: p, ab: ab}
-		}
-	}
+	cells := propCellsByAlphabet(systems, p)
 	reports := make([]*Report, len(systems))
 	errs := make([]error, len(systems))
 	run := func(rec obs.Recorder, i int) {
-		pl := newPipelineSharing(rec, systems[i], p, nil, cells[systems[i].Alphabet()])
+		pl := newPipelineSharing(nil, rec, systems[i], p, nil, cells[systems[i].Alphabet()])
 		csp := obs.StartSpan(rec, "core.CheckAll").
 			Tag("paper", "Section 4 (cross-checked via Theorem 4.7)").
 			Int("system", int64(i))
@@ -94,6 +88,19 @@ func CheckSystemsPortfolioRec(rec obs.Recorder, systems []*ts.System, p Property
 		}
 	}
 	return reports, nil
+}
+
+// propCellsByAlphabet allocates one shared property cell per distinct
+// alphabet (by pointer identity) across systems.
+func propCellsByAlphabet(systems []*ts.System, p Property) map[*alphabet.Alphabet]*propCell {
+	cells := map[*alphabet.Alphabet]*propCell{}
+	for _, sys := range systems {
+		ab := sys.Alphabet()
+		if cells[ab] == nil {
+			cells[ab] = &propCell{p: p, ab: ab}
+		}
+	}
+	return cells
 }
 
 // poolSize resolves the worker count: at most one worker per job,

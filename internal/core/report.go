@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"relive/internal/obs"
 	"relive/internal/ts"
@@ -70,38 +69,7 @@ func CheckAllParRec(rec obs.Recorder, sys *ts.System, p Property, workers int) (
 		Tag("paper", "Section 4 (cross-checked via Theorem 4.7)").
 		Tag("mode", "parallel")
 	defer sp.End()
-	pl := newPipeline(rec, sys, p)
-
-	var (
-		wg   sync.WaitGroup
-		sat  SatisfactionResult
-		rl   LivenessResult
-		rs   SafetyResult
-		errs [3]error
-	)
-	wg.Add(3)
-	go func() {
-		defer wg.Done()
-		view := pl.view(obs.ForkWorker(rec, "satisfies", sp.ID()))
-		sat, errs[0] = satisfiesPipe(view)
-	}()
-	go func() {
-		defer wg.Done()
-		view := pl.view(obs.ForkWorker(rec, "rel-liveness", sp.ID()))
-		rl, errs[1] = relativeLivenessPipe(view)
-	}()
-	go func() {
-		defer wg.Done()
-		view := pl.view(obs.ForkWorker(rec, "rel-safety", sp.ID()))
-		rs, errs[2] = relativeSafetyPipe(view)
-	}()
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return assembleReport(sys, p, sat, rl, rs)
+	return checkAllPar(newPipeline(rec, sys, p), rec, sp)
 }
 
 // checkAllPipe runs the three verdicts serially over pl and assembles

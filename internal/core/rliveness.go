@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,7 +72,12 @@ func relativeLivenessPipe(pl *pipeline) (LivenessResult, error) {
 		Tag("paper", "Lemma 4.3: pre(L) = pre(L∩P)").
 		Int("left_states", int64(preL.NumStates())).
 		Int("right_states", int64(preLP.NumStates()))
-	ok, w := nfa.Included(preL, preLP)
+	ok, w, err := nfa.IncludedCtx(pl.ctx, preL, preLP)
+	if err != nil {
+		isp.Tag("aborted", "context")
+		isp.End()
+		return LivenessResult{}, fmt.Errorf("relative liveness: %w", err)
+	}
 	isp.End()
 	if ok {
 		return LivenessResult{Holds: true}, nil
@@ -82,14 +88,19 @@ func relativeLivenessPipe(pl *pipeline) (LivenessResult, error) {
 // trimmedBehaviors trims sys and builds its behavior automaton lim(L),
 // reporting sizes under a "lim(L)" span. A nil trimmed system (with nil
 // error) signals that sys has no infinite behavior at all, the vacuous
-// case of the Section 4 checks.
-func trimmedBehaviors(rec obs.Recorder, sys *ts.System) (*ts.System, *buchi.Buchi, error) {
+// case of the Section 4 checks. A context error from the trim fixpoint
+// is propagated, never folded into the vacuous case.
+func trimmedBehaviors(ctx context.Context, rec obs.Recorder, sys *ts.System) (*ts.System, *buchi.Buchi, error) {
 	sp := obs.StartSpan(rec, "lim(L)").
 		Tag("paper", "Section 3: system behaviors").
 		Int("in_states", int64(sys.NumStates()))
 	defer sp.End()
-	trimmed, err := sys.Trim()
+	trimmed, err := sys.TrimCtx(ctx)
 	if err != nil {
+		if isContextError(err) {
+			sp.Tag("aborted", "context")
+			return nil, nil, err
+		}
 		sp.Int("out_states", 0)
 		return nil, nil, nil
 	}

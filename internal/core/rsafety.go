@@ -69,7 +69,10 @@ func relativeSafetyPipe(pl *pipeline) (SafetyResult, error) {
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
 	}
-	lhs := ops.Intersect(behaviors, limPre)
+	lhs, err := ops.IntersectCtx(behaviors, limPre)
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
 	notP, err := pl.negation()
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
@@ -78,7 +81,12 @@ func relativeSafetyPipe(pl *pipeline) (SafetyResult, error) {
 		Tag("paper", "Lemma 4.4: L ∩ lim(pre(L∩P)) ⊆ P").
 		Int("lhs_states", int64(lhs.NumStates())).
 		Int("negation_states", int64(notP.NumStates()))
-	l, found := ops.IntersectLasso(lhs, notP)
+	l, found, err := ops.IntersectLassoCtx(lhs, notP)
+	if err != nil {
+		isp.Tag("aborted", "context")
+		isp.End()
+		return SafetyResult{}, fmt.Errorf("relative safety: %w", err)
+	}
 	isp.End()
 	if found {
 		return SafetyResult{Holds: false, Violation: l}, nil
@@ -127,7 +135,12 @@ func satisfiesPipe(pl *pipeline) (SatisfactionResult, error) {
 	isp := obs.StartSpan(pl.rec, "L ∩ ¬P = ∅").
 		Int("behavior_states", int64(behaviors.NumStates())).
 		Int("negation_states", int64(notP.NumStates()))
-	l, found := pl.ops.IntersectLasso(behaviors, notP)
+	l, found, err := pl.ops.IntersectLassoCtx(behaviors, notP)
+	if err != nil {
+		isp.Tag("aborted", "context")
+		isp.End()
+		return SatisfactionResult{}, fmt.Errorf("satisfaction: %w", err)
+	}
 	isp.End()
 	if found {
 		return SatisfactionResult{Holds: false, Counterexample: l}, nil

@@ -4,6 +4,12 @@
 // reachability, bottom-SCC analysis, and shortest-path extraction.
 package graph
 
+import (
+	"context"
+
+	"relive/internal/interrupt"
+)
+
 // Succ enumerates the successor vertices of v. Implementations may yield
 // duplicates; the algorithms tolerate them.
 type Succ func(v int) []int
@@ -238,6 +244,14 @@ func IsTrivialSCC(comp []int, succ Succ) bool {
 // Reachable returns the set of vertices reachable from the given sources
 // (including the sources themselves).
 func Reachable(n int, sources []int, succ Succ) []bool {
+	seen, _ := ReachableCtx(nil, n, sources, succ)
+	return seen
+}
+
+// ReachableCtx is Reachable with a cooperative cancellation checkpoint
+// inside the BFS loop: when ctx is cancelled the expansion stops and
+// the context's error is returned. A nil ctx never cancels.
+func ReachableCtx(ctx context.Context, n int, sources []int, succ Succ) ([]bool, error) {
 	seen := make([]bool, n)
 	queue := make([]int, 0, len(sources))
 	for _, s := range sources {
@@ -246,7 +260,11 @@ func Reachable(n int, sources []int, succ Succ) []bool {
 			queue = append(queue, s)
 		}
 	}
+	var tick interrupt.Tick
 	for qi := 0; qi < len(queue); qi++ {
+		if err := tick.Poll(ctx); err != nil {
+			return nil, err
+		}
 		for _, w := range succ(queue[qi]) {
 			if !seen[w] {
 				seen[w] = true
@@ -254,7 +272,7 @@ func Reachable(n int, sources []int, succ Succ) []bool {
 			}
 		}
 	}
-	return seen
+	return seen, nil
 }
 
 // IsTrivialSCCCSR is IsTrivialSCC over a CSR adjacency.
@@ -273,6 +291,13 @@ func IsTrivialSCCCSR(comp []int, g CSR) bool {
 
 // ReachableCSR is Reachable over a CSR adjacency.
 func ReachableCSR(g CSR, sources []int) []bool {
+	seen, _ := ReachableCSRCtx(nil, g, sources)
+	return seen
+}
+
+// ReachableCSRCtx is ReachableCSR with a cooperative cancellation
+// checkpoint inside the BFS loop. A nil ctx never cancels.
+func ReachableCSRCtx(ctx context.Context, g CSR, sources []int) ([]bool, error) {
 	n := g.NumVertices()
 	seen := make([]bool, n)
 	queue := make([]int, 0, n)
@@ -282,7 +307,11 @@ func ReachableCSR(g CSR, sources []int) []bool {
 			queue = append(queue, s)
 		}
 	}
+	var tick interrupt.Tick
 	for qi := 0; qi < len(queue); qi++ {
+		if err := tick.Poll(ctx); err != nil {
+			return nil, err
+		}
 		for _, w := range g.Succ(queue[qi]) {
 			if !seen[w] {
 				seen[w] = true
@@ -290,7 +319,7 @@ func ReachableCSR(g CSR, sources []int) []bool {
 			}
 		}
 	}
-	return seen
+	return seen, nil
 }
 
 // CoReachableCSR is CoReachable over a CSR adjacency: one O(V+E) reverse

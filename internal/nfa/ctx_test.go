@@ -1,0 +1,68 @@
+package nfa
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"relive/internal/alphabet"
+)
+
+// ctxCycleNFA accepts a* prefixes landing on state 0 of an n-cycle; the
+// inclusion check against the universal automaton walks all n
+// (state, subset) pairs — past the 1<<10-iteration context poll.
+func ctxCycleNFA(ab *alphabet.Alphabet, n int) *NFA {
+	a := New(ab)
+	for i := 0; i < n; i++ {
+		a.AddState(i == 0)
+	}
+	sym := ab.Symbol("a")
+	for i := 0; i < n; i++ {
+		a.AddTransition(State(i), sym, State((i+1)%n))
+	}
+	a.SetInitial(0)
+	return a
+}
+
+func universalNFA(ab *alphabet.Alphabet) *NFA {
+	u := New(ab)
+	s := u.AddState(true)
+	for _, sym := range ab.Symbols() {
+		u.AddTransition(s, sym, s)
+	}
+	u.SetInitial(s)
+	return u
+}
+
+func TestIncludedCtxCancelled(t *testing.T) {
+	ab := alphabet.FromNames("a")
+	a, b := ctxCycleNFA(ab, 3000), universalNFA(ab)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := IncludedCtx(ctx, a, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestIncludedCtxNilAndLiveMatchIncluded(t *testing.T) {
+	ab := alphabet.FromNames("a")
+	a, b := ctxCycleNFA(ab, 3000), universalNFA(ab)
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		ok, w, err := IncludedCtx(ctx, a, b)
+		if err != nil {
+			t.Fatalf("ctx=%v: %v", ctx, err)
+		}
+		if !ok || w != nil {
+			t.Fatalf("ctx=%v: inclusion in Σ* = (%v, %v), want (true, nil)", ctx, ok, w)
+		}
+	}
+	// The reverse direction is a genuine verdict, not a context error:
+	// Σ* ⊄ (a^3000-cycle prefixes), witnessed by a concrete word.
+	ok, w, err := IncludedCtx(context.Background(), b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !b.Accepts(w) || a.Accepts(w) {
+		t.Fatalf("counterexample word %v does not separate the languages (ok=%v)", w, ok)
+	}
+}

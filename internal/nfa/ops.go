@@ -1,7 +1,10 @@
 package nfa
 
 import (
+	"context"
+
 	"relive/internal/alphabet"
+	"relive/internal/interrupt"
 	"relive/internal/word"
 )
 
@@ -74,6 +77,15 @@ func Union(a, b *NFA) *NFA {
 // state witnesses the failure; the empty b-set is an ordinary interned
 // set, playing the role of the complete complement DFA's sink.
 func Included(a, b *NFA) (bool, word.Word) {
+	ok, w, _ := IncludedCtx(nil, a, b)
+	return ok, w
+}
+
+// IncludedCtx is Included with a cooperative cancellation checkpoint
+// inside the on-the-fly subset-construction loop — the loop is worst
+// case exponential in b, so a context deadline must be able to stop it.
+// A nil ctx never cancels.
+func IncludedCtx(ctx context.Context, a, b *NFA) (bool, word.Word, error) {
 	ae := a.RemoveEpsilon()
 	be := b.RemoveEpsilon()
 	ca, cb := ae.Compiled(), be.Compiled()
@@ -140,7 +152,11 @@ func Included(a, b *NFA) (bool, word.Word) {
 	for _, x := range ae.initial {
 		push(pair{x, startID}, -1, alphabet.Epsilon)
 	}
+	var tick interrupt.Tick
 	for i := 0; i < len(queue); i++ {
+		if err := tick.Poll(ctx); err != nil {
+			return false, nil, err
+		}
 		cur := queue[i]
 		if ae.accepting[cur.p.x] && !setAcc[cur.p.set] {
 			var w word.Word
@@ -150,7 +166,7 @@ func Included(a, b *NFA) (bool, word.Word) {
 			for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
 				w[l], w[r] = w[r], w[l]
 			}
-			return false, w
+			return false, w, nil
 		}
 		for _, sym := range syms {
 			xs := ca.Row(cur.p.x, sym)
@@ -163,7 +179,7 @@ func Included(a, b *NFA) (bool, word.Word) {
 			}
 		}
 	}
-	return true, nil
+	return true, nil, nil
 }
 
 // LanguageEqual reports whether L(a) = L(b). On inequality it returns a

@@ -1,0 +1,132 @@
+// Package cache provides the size-bounded LRU used by the checking
+// service to keep decision-pipeline artifacts — parsed systems with
+// their single-flight cells, compiled property automata, and full
+// reports — alive across requests. Entries are keyed by structural
+// hashes (see serve), so two requests spelling the same system
+// differently still share one entry.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's effectiveness.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Len       int   `json:"len"`
+	Cap       int   `json:"cap"`
+}
+
+// LRU is a mutex-guarded, size-bounded least-recently-used map from
+// string keys to values. All methods are safe for concurrent use. The
+// zero value is not usable; call New.
+//
+// LRU deliberately stores values, not futures: a value inserted via
+// GetOrAdd is constructed outside the lock and may race with another
+// constructor for the same key, in which case one construction wins and
+// the other is discarded. The pipeline artifacts stored here are
+// themselves single-flight cells (core.SystemCells, core.PipelineCells),
+// so the expensive work still coalesces — only the cheap handle
+// allocation can be duplicated.
+type LRU[V any] struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *entry[V]
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns an empty LRU holding at most max entries; max < 1 is
+// treated as 1.
+func New[V any](max int) *LRU[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &LRU[V]{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value for key, marking it most recently used.
+func (l *LRU[V]) Get(key string) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		l.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	l.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or replaces the value for key, evicting the least
+// recently used entry when the cache is full.
+func (l *LRU[V]) Add(key string, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.add(key, val)
+}
+
+func (l *LRU[V]) add(key string, val V) {
+	if el, ok := l.entries[key]; ok {
+		el.Value.(*entry[V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	l.entries[key] = l.order.PushFront(&entry[V]{key: key, val: val})
+	for l.order.Len() > l.max {
+		back := l.order.Back()
+		l.order.Remove(back)
+		delete(l.entries, back.Value.(*entry[V]).key)
+		l.evictions++
+	}
+}
+
+// GetOrAdd returns the value for key, constructing and inserting it
+// with make on a miss. The returned bool reports whether this was a
+// hit. make runs outside the lock; when two goroutines miss on the same
+// key concurrently, the later Add wins and the earlier value is
+// returned only to its own caller.
+func (l *LRU[V]) GetOrAdd(key string, make func() V) (V, bool) {
+	if v, ok := l.Get(key); ok {
+		return v, true
+	}
+	v := make()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// A racing constructor may have inserted meanwhile; prefer the
+	// resident value so every caller converges on one artifact set.
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*entry[V]).val, false
+	}
+	l.add(key, v)
+	return v, false
+}
+
+// Len returns the current number of entries.
+func (l *LRU[V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (l *LRU[V]) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Hits: l.hits, Misses: l.misses, Evictions: l.evictions, Len: l.order.Len(), Cap: l.max}
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := New[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = (%d, %v), want (1, true)", v, ok)
+	}
+	// "a" was just used, so adding "c" must evict "b".
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("recently used entry evicted: (%d, %v)", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 2 || st.Cap != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, len 2, cap 2", st)
+	}
+}
+
+func TestLRUAddReplaces(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("a", 9)
+	if v, ok := c.Get("a"); !ok || v != 9 {
+		t.Fatalf("Get after replace = (%d, %v), want (9, true)", v, ok)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (replace must not duplicate)", n)
+	}
+}
+
+// TestLRUEvictionBound: 10k distinct keys through a small cache never
+// grow it past its capacity — the ISSUE's memory-bound requirement.
+func TestLRUEvictionBound(t *testing.T) {
+	const cap = 64
+	c := New[int](cap)
+	for i := 0; i < 10_000; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i)
+		if n := c.Len(); n > cap {
+			t.Fatalf("after %d inserts Len = %d > cap %d", i+1, n, cap)
+		}
+	}
+	st := c.Stats()
+	if st.Len != cap {
+		t.Fatalf("final Len = %d, want %d", st.Len, cap)
+	}
+	if st.Evictions != 10_000-cap {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 10_000-cap)
+	}
+	// The survivors are exactly the most recent cap keys.
+	for i := 10_000 - cap; i < 10_000; i++ {
+		if v, ok := c.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("recent key k%d missing: (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+// TestLRUGetOrAddConverges: racing constructors for one key all observe
+// the same resident value even when the builds return distinct values.
+func TestLRUGetOrAddConverges(t *testing.T) {
+	c := New[*int](8)
+	var wg sync.WaitGroup
+	results := make([]*int, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = c.GetOrAdd("k", func() *int { v := i; return &v })
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different resident value", i)
+		}
+	}
+}
+
+// TestLRUConcurrentHammer drives gets, adds, and GetOrAdds from many
+// goroutines across overlapping keys; run under -race this is the
+// cache's data-race certification. Invariants: no panic, Len ≤ cap,
+// hits+misses add up.
+func TestLRUConcurrentHammer(t *testing.T) {
+	const cap = 32
+	c := New[int](cap)
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%100)
+				switch i % 3 {
+				case 0:
+					c.Add(k, i)
+				case 1:
+					c.Get(k)
+				default:
+					if v, _ := c.GetOrAdd(k, func() int { return i }); v < 0 {
+						t.Error("negative value from GetOrAdd")
+					}
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > cap {
+		t.Fatalf("Len = %d > cap %d after hammer", n, cap)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses <= 0 {
+		t.Fatalf("stats recorded no lookups: %+v", st)
+	}
+	if ops.Load() != 8*2000 {
+		t.Fatalf("ops = %d, want %d", ops.Load(), 8*2000)
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := New[int](0) // clamped to 1
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("evicted entry still resident")
+	}
+}

@@ -1,0 +1,201 @@
+package serve_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/core"
+	"relive/internal/gen"
+	"relive/internal/ltl"
+	"relive/internal/oracle"
+	"relive/internal/serve"
+	"relive/internal/ts"
+	"relive/internal/word"
+)
+
+// The service-level differential suite: randomized request bodies
+// travel the full wire path — JSON decode, structural caching,
+// admission, the ctx-plumbed pipeline, JSON encode — and the verdicts
+// that come back must agree with internal/oracle's naive reference.
+// The comparison is asymmetric, as in internal/oracle's own suite:
+// a Holds verdict is checked against the oracle's exhaustive bounded
+// search (any find would be a real disagreement); a ¬Holds verdict must
+// come with a witness the oracle confirms exactly.
+var (
+	serveSeedFlag  = flag.Int64("serve-seed", 1, "root seed of the randomized service differential suite")
+	servePairsFlag = flag.Int("serve-pairs", 120, "number of randomized request bodies per run")
+)
+
+// translationCap skips rare pathological tableau blowups, as in the
+// oracle suite.
+const translationCap = 64
+
+func TestServeDifferentialAgainstOracle(t *testing.T) {
+	_, hs := newTestServer(t, serve.Config{})
+	rng := rand.New(rand.NewSource(*serveSeedFlag))
+	ab := alphabet.FromNames("a", "b")
+	words := gen.Words(ab, oracle.DefaultBounds().WordLen)
+	lassos := gen.Lassos(ab, oracle.DefaultBounds().LassoPrefix, oracle.DefaultBounds().LassoLoop)
+
+	checked, skipped := 0, 0
+	for i := 0; i < *servePairsFlag; i++ {
+		n := 3 + rng.Intn(4)
+		sys := gen.System(rng, ab, n, 0.25+0.35*rng.Float64())
+		f := gen.Formula(rng, []string{"a", "b"}, 1+rng.Intn(3))
+		pa := ltl.TranslateBuchi(f, ltl.Canonical(ab))
+		if pa.NumStates() > translationCap {
+			skipped++
+			continue
+		}
+		op := oracle.Property{Formula: f, Auto: pa}
+		desc := fmt.Sprintf("pair %d: system\n%sformula %s", i, sys.FormatString(), f)
+
+		status, _, body := postJSON(t, hs.URL+"/v1/check/all",
+			serve.CheckRequest{System: sys.FormatString(), LTL: f.String()})
+		if status != http.StatusOK {
+			t.Fatalf("%s\nstatus %d: %s", desc, status, body)
+		}
+		var rep core.Report
+		decodeInto(t, body, &rep)
+
+		if msg := oracleDisagreement(sys, op, rep, words, lassos); msg != "" {
+			t.Fatalf("%s\n%s", desc, msg)
+		}
+		if msg := endpointsDisagree(t, hs.URL, sys, f, rep); msg != "" {
+			t.Fatalf("%s\n%s", desc, msg)
+		}
+		checked++
+	}
+	t.Logf("checked %d randomized bodies (%d tableau skips)", checked, skipped)
+}
+
+// oracleDisagreement compares one served report with the bounded
+// oracle; "" means agreement.
+func oracleDisagreement(sys *ts.System, op oracle.Property, rep core.Report, words []word.Word, lassos []word.Lasso) string {
+	ab := sys.Alphabet()
+
+	if rep.Satisfied {
+		holds, cex, err := oracle.Satisfaction(sys, op, lassos)
+		if err != nil {
+			return fmt.Sprintf("oracle.Satisfaction: %v", err)
+		}
+		if !holds {
+			return fmt.Sprintf("served satisfied=true but oracle found behavior %s outside P", cex.String(ab))
+		}
+	} else {
+		l, err := lassoFromNames(ab, rep.Counterexample, rep.CounterexampleLp)
+		if err != nil {
+			return fmt.Sprintf("served counterexample: %v", err)
+		}
+		ok, err := oracle.ConfirmCounterexample(sys, op, l)
+		if err != nil {
+			return fmt.Sprintf("ConfirmCounterexample: %v", err)
+		}
+		if !ok {
+			return fmt.Sprintf("served counterexample %s not confirmed", l.String(ab))
+		}
+	}
+
+	if rep.RelativeLiveness {
+		holds, w, err := oracle.RelativeLiveness(sys, op, words)
+		if err != nil {
+			return fmt.Sprintf("oracle.RelativeLiveness: %v", err)
+		}
+		if !holds {
+			return fmt.Sprintf("served relativeLiveness=true but oracle found bad prefix %s", w.String(ab))
+		}
+	} else {
+		w, err := wordFromNames(ab, rep.BadPrefix)
+		if err != nil {
+			return fmt.Sprintf("served bad prefix: %v", err)
+		}
+		ok, err := oracle.ConfirmBadPrefix(sys, op, w)
+		if err != nil {
+			return fmt.Sprintf("ConfirmBadPrefix: %v", err)
+		}
+		if !ok {
+			return fmt.Sprintf("served bad prefix %s not confirmed", w.String(ab))
+		}
+	}
+
+	if rep.RelativeSafety {
+		holds, v, err := oracle.RelativeSafety(sys, op, lassos)
+		if err != nil {
+			return fmt.Sprintf("oracle.RelativeSafety: %v", err)
+		}
+		if !holds {
+			return fmt.Sprintf("served relativeSafety=true but oracle found violation %s", v.String(ab))
+		}
+	} else {
+		l, err := lassoFromNames(ab, rep.Violation, rep.ViolationLoop)
+		if err != nil {
+			return fmt.Sprintf("served violation: %v", err)
+		}
+		ok, err := oracle.ConfirmSafetyViolation(sys, op, l)
+		if err != nil {
+			return fmt.Sprintf("ConfirmSafetyViolation: %v", err)
+		}
+		if !ok {
+			return fmt.Sprintf("served violation %s not confirmed per Definition 4.2", l.String(ab))
+		}
+	}
+	return ""
+}
+
+// endpointsDisagree cross-checks the typed single-verdict endpoints
+// against the /v1/check/all report for the same body.
+func endpointsDisagree(t *testing.T, baseURL string, sys *ts.System, f *ltl.Formula, rep core.Report) string {
+	t.Helper()
+	req := serve.CheckRequest{System: sys.FormatString(), LTL: f.String()}
+
+	status, _, body := postJSON(t, baseURL+"/v1/check/liveness", req)
+	var lr serve.LivenessResponse
+	decodeInto(t, body, &lr)
+	if status != http.StatusOK || lr.Holds != rep.RelativeLiveness {
+		return fmt.Sprintf("liveness endpoint: status %d holds %v, report %v", status, lr.Holds, rep.RelativeLiveness)
+	}
+
+	status, _, body = postJSON(t, baseURL+"/v1/check/safety", req)
+	var sr serve.SafetyResponse
+	decodeInto(t, body, &sr)
+	if status != http.StatusOK || sr.Holds != rep.RelativeSafety {
+		return fmt.Sprintf("safety endpoint: status %d holds %v, report %v", status, sr.Holds, rep.RelativeSafety)
+	}
+
+	status, _, body = postJSON(t, baseURL+"/v1/check/satisfies", req)
+	var tr serve.SatisfiesResponse
+	decodeInto(t, body, &tr)
+	if status != http.StatusOK || tr.Holds != rep.Satisfied {
+		return fmt.Sprintf("satisfies endpoint: status %d holds %v, report %v", status, tr.Holds, rep.Satisfied)
+	}
+	return ""
+}
+
+// wordFromNames maps the wire rendering (action names) back to symbols.
+func wordFromNames(ab *alphabet.Alphabet, names []string) (word.Word, error) {
+	w := make(word.Word, len(names))
+	for i, name := range names {
+		sym, ok := ab.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown action %q in served witness", name)
+		}
+		w[i] = sym
+	}
+	return w, nil
+}
+
+func lassoFromNames(ab *alphabet.Alphabet, prefix, loop []string) (word.Lasso, error) {
+	p, err := wordFromNames(ab, prefix)
+	if err != nil {
+		return word.Lasso{}, err
+	}
+	l, err := wordFromNames(ab, loop)
+	if err != nil {
+		return word.Lasso{}, err
+	}
+	return word.NewLasso(p, l)
+}

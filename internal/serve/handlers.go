@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"relive/internal/alphabet"
+	"relive/internal/core"
+	"relive/internal/hom"
+	"relive/internal/ltl"
+	"relive/internal/obs"
+	"relive/internal/word"
+)
+
+// CacheHeader reports, on every check response, whether the body came
+// from the report cache ("hit") or a fresh run ("miss"). It is a header
+// rather than a body field so a cache hit is bit-identical to the cold
+// response it replays.
+const CacheHeader = "X-Relive-Cache"
+
+// statusClientClosed is the (nginx-convention) status recorded when the
+// client went away before the check finished; the connection is usually
+// already dead when it is written.
+const statusClientClosed = 499
+
+// LivenessResponse is the body of /v1/check/liveness.
+type LivenessResponse struct {
+	Holds     bool     `json:"holds"`
+	BadPrefix []string `json:"badPrefix,omitempty"`
+}
+
+// SafetyResponse is the body of /v1/check/safety.
+type SafetyResponse struct {
+	Holds         bool     `json:"holds"`
+	Violation     []string `json:"violation,omitempty"`
+	ViolationLoop []string `json:"violationLoop,omitempty"`
+}
+
+// SatisfiesResponse is the body of /v1/check/satisfies.
+type SatisfiesResponse struct {
+	Holds              bool     `json:"holds"`
+	Counterexample     []string `json:"counterexample,omitempty"`
+	CounterexampleLoop []string `json:"counterexampleLoop,omitempty"`
+}
+
+// PortfolioResponse is the body of /v1/check/portfolio; Reports follow
+// the request's property order (LTLs first, then Omegas).
+type PortfolioResponse struct {
+	Reports []*core.Report `json:"reports"`
+}
+
+// AbstractionResponse is the body of /v1/check/abstraction.
+type AbstractionResponse struct {
+	Conclusion        string   `json:"conclusion"`
+	AbstractHolds     bool     `json:"abstractHolds"`
+	Simple            bool     `json:"simple"`
+	ExtendedMaximal   bool     `json:"extendedMaximal"`
+	AbstractStates    int      `json:"abstractStates"`
+	AbstractBadPrefix []string `json:"abstractBadPrefix,omitempty"`
+	SimplicityWitness []string `json:"simplicityWitness,omitempty"`
+	Transformed       string   `json:"transformed,omitempty"`
+}
+
+// HealthResponse is the body of /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Inflight int    `json:"inflight"`
+	Admitted int64  `json:"admitted"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/check/all", s.checkHandler("all",
+		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
+			return core.CheckAllCellsCtx(ctx, s.tr, pc, s.cfg.Parallelism)
+		}))
+	s.mux.HandleFunc("POST /v1/check/liveness", s.checkHandler("liveness",
+		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
+			res, err := core.RelativeLivenessCellsCtx(ctx, s.tr, pc)
+			if err != nil {
+				return nil, err
+			}
+			return &LivenessResponse{Holds: res.Holds, BadPrefix: names(sc.System().Alphabet(), res.BadPrefix)}, nil
+		}))
+	s.mux.HandleFunc("POST /v1/check/safety", s.checkHandler("safety",
+		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
+			res, err := core.RelativeSafetyCellsCtx(ctx, s.tr, pc)
+			if err != nil {
+				return nil, err
+			}
+			ab := sc.System().Alphabet()
+			return &SafetyResponse{
+				Holds:         res.Holds,
+				Violation:     names(ab, res.Violation.Prefix),
+				ViolationLoop: names(ab, res.Violation.Loop),
+			}, nil
+		}))
+	s.mux.HandleFunc("POST /v1/check/satisfies", s.checkHandler("satisfies",
+		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
+			res, err := core.SatisfiesCellsCtx(ctx, s.tr, pc)
+			if err != nil {
+				return nil, err
+			}
+			ab := sc.System().Alphabet()
+			return &SatisfiesResponse{
+				Holds:              res.Holds,
+				Counterexample:     names(ab, res.Counterexample.Prefix),
+				CounterexampleLoop: names(ab, res.Counterexample.Loop),
+			}, nil
+		}))
+	s.mux.HandleFunc("POST /v1/check/portfolio", s.handlePortfolio)
+	s.mux.HandleFunc("POST /v1/check/abstraction", s.handleAbstraction)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// checkHandler builds the handler for one single-property endpoint:
+// decode → report-cache probe → admission → bounded, cancellable check
+// → cache fill. Cache hits are served without consuming a worker slot.
+func (s *Server) checkHandler(endpoint string, run func(context.Context, *core.SystemCells, *core.PipelineCells) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obs.Count(s.tr, "serve.requests", 1)
+		body, err := readBody(w, r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		req, err := DecodeCheckRequest(body)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		sysKey, sc, err := s.resolveSystem(req.System)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		propPart, prop, err := resolveProperty(sc, req.LTL, req.Omega)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		rkey := reportKey(endpoint, sysKey, propPart)
+		if !req.NoCache {
+			if cached, ok := s.reports.Get(rkey); ok {
+				obs.Count(s.tr, "serve.cache.report_hits", 1)
+				writeCached(w, cached, true)
+				return
+			}
+		}
+		release, status, aerr := s.admit(r.Context())
+		if aerr != nil || status != 0 {
+			s.writeAdmissionFailure(w, status, aerr)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		defer release()
+
+		ctx, cancel := s.checkContext(r, req.TimeoutMS)
+		defer cancel()
+		sp := obs.StartSpan(s.tr, "serve."+endpoint)
+		out, err := run(ctx, sc, s.pipelineFor(sysKey, propPart, sc, prop))
+		if err != nil {
+			sp.Tag("outcome", s.outcome(err))
+			sp.End()
+			s.writeCheckError(w, r, err)
+			return
+		}
+		sp.Tag("outcome", "ok")
+		sp.End()
+		s.finish(w, rkey, out, req.NoCache)
+	}
+}
+
+// handlePortfolio checks every property of the request against one
+// system, reusing the cached per-property artifact sets; all properties
+// share the system's trimmed-behavior cells, so the system is trimmed
+// once no matter how many properties ride along.
+func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	obs.Count(s.tr, "serve.requests", 1)
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	req, err := DecodePortfolioRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	sysKey, sc, err := s.resolveSystem(req.System)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	type job struct {
+		part string
+		pc   *core.PipelineCells
+	}
+	jobs := make([]job, 0, len(req.LTLs)+len(req.Omegas))
+	keyParts := []string{"portfolio", sysKey}
+	add := func(ltlText, omegaText string) error {
+		part, prop, perr := resolveProperty(sc, ltlText, omegaText)
+		if perr != nil {
+			return perr
+		}
+		jobs = append(jobs, job{part: part, pc: s.pipelineFor(sysKey, part, sc, prop)})
+		keyParts = append(keyParts, part)
+		return nil
+	}
+	for _, t := range req.LTLs {
+		if err := add(t, ""); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+	}
+	for _, t := range req.Omegas {
+		if err := add("", t); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+	}
+	rkey := hashKey(keyParts...)
+	if !req.NoCache {
+		if cached, ok := s.reports.Get(rkey); ok {
+			obs.Count(s.tr, "serve.cache.report_hits", 1)
+			writeCached(w, cached, true)
+			return
+		}
+	}
+	release, status, aerr := s.admit(r.Context())
+	if aerr != nil || status != 0 {
+		s.writeAdmissionFailure(w, status, aerr)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer release()
+
+	ctx, cancel := s.checkContext(r, req.TimeoutMS)
+	defer cancel()
+	sp := obs.StartSpan(s.tr, "serve.portfolio").Int("properties", int64(len(jobs)))
+	resp := &PortfolioResponse{Reports: make([]*core.Report, len(jobs))}
+	for i, j := range jobs {
+		rep, err := core.CheckAllCellsCtx(ctx, s.tr, j.pc, s.cfg.Parallelism)
+		if err != nil {
+			sp.Tag("outcome", s.outcome(err))
+			sp.End()
+			s.writeCheckError(w, r, err)
+			return
+		}
+		resp.Reports[i] = rep
+	}
+	sp.Tag("outcome", "ok")
+	sp.End()
+	s.finish(w, rkey, resp, req.NoCache)
+}
+
+// handleAbstraction runs the paper's abstraction method (Sections 6–8).
+// The underlying procedure is not yet context-plumbed, so cancellation
+// is honored at admission and between requests but not mid-check; the
+// worker pool still bounds its concurrency.
+func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
+	obs.Count(s.tr, "serve.requests", 1)
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	req, err := DecodeAbstractionRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	sysKey, sc, err := s.resolveSystem(req.System)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	h, err := hom.Parse(sc.System().Alphabet(), req.Hom)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	eta, err := ltl.Parse(req.Eta)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	rkey := hashKey("abstraction", sysKey, req.Hom, eta.String())
+	if !req.NoCache {
+		if cached, ok := s.reports.Get(rkey); ok {
+			obs.Count(s.tr, "serve.cache.report_hits", 1)
+			writeCached(w, cached, true)
+			return
+		}
+	}
+	release, status, aerr := s.admit(r.Context())
+	if aerr != nil || status != 0 {
+		s.writeAdmissionFailure(w, status, aerr)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer release()
+
+	ctx, cancel := s.checkContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		s.writeCheckError(w, r, err)
+		return
+	}
+	sp := obs.StartSpan(s.tr, "serve.abstraction")
+	rep, err := core.VerifyViaAbstractionRec(s.tr, sc.System(), h, eta)
+	if err != nil {
+		sp.Tag("outcome", "error")
+		sp.End()
+		s.writeError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	sp.Tag("outcome", "ok")
+	sp.End()
+	resp := &AbstractionResponse{
+		Conclusion:        rep.Conclusion.String(),
+		AbstractHolds:     rep.AbstractHolds,
+		Simple:            rep.Simple,
+		ExtendedMaximal:   rep.ExtendedMaximal,
+		AbstractStates:    rep.Abstract.NumStates(),
+		AbstractBadPrefix: names(rep.Abstract.Alphabet(), rep.AbstractBadPrefix),
+		SimplicityWitness: names(sc.System().Alphabet(), rep.SimplicityWitness),
+	}
+	if rep.Transformed != nil {
+		resp.Transformed = rep.Transformed.String()
+	}
+	s.finish(w, rkey, resp, req.NoCache)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:   "ok",
+		Inflight: len(s.slots),
+		Admitted: s.admitted.Load(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// finish marshals the check result, fills the report cache, and writes
+// the response as a cache miss.
+func (s *Server) finish(w http.ResponseWriter, rkey string, out any, noCache bool) {
+	body, err := json.Marshal(out)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	body = append(body, '\n')
+	if !noCache {
+		s.reports.Add(rkey, body)
+	}
+	obs.Count(s.tr, "serve.completed", 1)
+	writeCached(w, body, false)
+}
+
+// outcome classifies an error for span tagging.
+func (s *Server) outcome(err error) string {
+	if isContextError(err) {
+		return "cancelled"
+	}
+	return "error"
+}
+
+// writeCheckError maps a failed check to a response: a client that went
+// away gets 499 (and likely never sees it), a server-side deadline gets
+// 504, anything else is an internal error. Context errors are counted
+// separately from check failures — the load tests and the obs span
+// "outcome" tags rely on the distinction.
+func (s *Server) writeCheckError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case isContextError(err) && r.Context().Err() != nil:
+		obs.Count(s.tr, "serve.cancelled", 1)
+		s.writeError(w, statusClientClosed, "cancelled", err)
+	case isContextError(err):
+		obs.Count(s.tr, "serve.timeout", 1)
+		s.writeError(w, http.StatusGatewayTimeout, "timeout", err)
+	default:
+		obs.Count(s.tr, "serve.errors", 1)
+		s.writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+// writeAdmissionFailure responds to a request that never got a worker
+// slot: queue overflow (429 + Retry-After), draining (503), or the
+// caller abandoning the queue (499).
+func (s *Server) writeAdmissionFailure(w http.ResponseWriter, status int, err error) {
+	switch {
+	case err != nil:
+		obs.Count(s.tr, "serve.cancelled", 1)
+		s.writeError(w, statusClientClosed, "cancelled", err)
+	case status == http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, status, "overloaded", fmt.Errorf("queue full: %d checks admitted", s.capacity))
+	default:
+		s.writeError(w, status, "draining", fmt.Errorf("server is draining"))
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Kind: kind})
+}
+
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set(CacheHeader, "hit")
+	} else {
+		w.Header().Set(CacheHeader, "miss")
+	}
+	w.Write(body)
+}
+
+// readBody reads a request body under the MaxBodyBytes cap.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return body, nil
+}
+
+// names renders a word's symbols as action names.
+func names(ab *alphabet.Alphabet, w word.Word) []string {
+	if len(w) == 0 {
+		return nil
+	}
+	out := make([]string, len(w))
+	for i, sym := range w {
+		out[i] = ab.Name(sym)
+	}
+	return out
+}

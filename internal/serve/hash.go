@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Structural cache keys. A system is keyed by the canonical text of its
+// parse (ts.FormatString sorts states and transitions and renumbers
+// deterministically), so two requests spelling the same system with
+// reordered lines or different state names still share one cache entry
+// — and, crucially, the system cached under a key is re-parsed from
+// that canonical text, so its symbol numbering is a function of the key
+// alone and every artifact built against it is interchangeable across
+// requests. LTL properties are keyed by the canonical rendering of
+// their parse tree; ω-regex properties by their raw text.
+
+// hashKey hashes length-prefixed parts into a fixed-size hex key, so no
+// concatenation of parts can collide with a different split of the same
+// bytes.
+func hashKey(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"relive/internal/serve/cache"
+)
+
+// handleMetrics renders the server's recorder state in the Prometheus
+// text exposition format: every obs counter (monotone) and gauge from
+// the decision procedures and the serving layer, plus the three caches'
+// hit/miss/eviction/occupancy figures. Names are prefixed with
+// "relive_" and sanitized ("buchi.intersect.calls" →
+// relive_buchi_intersect_calls).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	counters := s.tr.Counters()
+	for _, name := range sortedKeys(counters) {
+		m := metricName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+	}
+	gauges := s.tr.Gauges()
+	for _, name := range sortedKeys(gauges) {
+		m := metricName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", m, m, gauges[name])
+	}
+	writeCacheStats(&b, "system", s.systems.Stats())
+	writeCacheStats(&b, "pipeline", s.pipelines.Stats())
+	writeCacheStats(&b, "report", s.reports.Stats())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// writeCacheStats renders one cache's counters with a "cache" label.
+func writeCacheStats(b *strings.Builder, cacheName string, st cache.Stats) {
+	counter := func(metric string, v int64) {
+		fmt.Fprintf(b, "# TYPE %s counter\n%s{cache=%q} %d\n", metric, metric, cacheName, v)
+	}
+	gauge := func(metric string, v int64) {
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s{cache=%q} %d\n", metric, metric, cacheName, v)
+	}
+	counter("relive_serve_cache_hits_total", st.Hits)
+	counter("relive_serve_cache_misses_total", st.Misses)
+	counter("relive_serve_cache_evictions_total", st.Evictions)
+	gauge("relive_serve_cache_entries", int64(st.Len))
+	gauge("relive_serve_cache_capacity", int64(st.Cap))
+}
+
+// metricName sanitizes an obs counter/gauge name into a Prometheus
+// metric name.
+func metricName(name string) string {
+	var b strings.Builder
+	b.WriteString("relive_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,259 @@
+// Package serve implements rlserve, the long-running checking service:
+// an HTTP/JSON front end over the Section 4 decision procedures with
+// per-request cooperative cancellation, a structural-hash keyed LRU
+// cache of pipeline artifacts and reports, a bounded worker pool with
+// queue-depth admission control, and graceful drain. See
+// docs/SERVICE.md for the wire protocol and operational model.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relive/internal/core"
+	"relive/internal/ltl"
+	"relive/internal/obs"
+	"relive/internal/rex"
+	"relive/internal/serve/cache"
+	"relive/internal/ts"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// serving-appropriate default.
+type Config struct {
+	// Workers bounds the number of checks running concurrently; <= 0
+	// means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker slot beyond the running ones; past it the server sheds load
+	// with 429 + Retry-After. <= 0 means 64.
+	QueueDepth int
+	// Parallelism is the per-check verdict fan-out passed to CheckAll
+	// (three verdicts over one shared pipeline); <= 0 means 1 (serial).
+	Parallelism int
+	// DefaultTimeout caps a check's wall time when the request does not
+	// set timeout_ms; 0 means 60s.
+	DefaultTimeout time.Duration
+	// SystemEntries, PipelineEntries, and ReportEntries are the LRU
+	// capacities for parsed systems (with their trimmed-system /
+	// behavior-automaton cells), per-(system, property) artifact sets,
+	// and marshaled reports; <= 0 means 256, 1024, and 4096.
+	SystemEntries   int
+	PipelineEntries int
+	ReportEntries   int
+	// Trace receives every span, counter, and gauge and backs /metrics;
+	// nil means a fresh private Trace.
+	Trace *obs.Trace
+}
+
+// Server is the checking service. Create with New, mount Handler, and
+// call Drain before exit. Safe for concurrent use.
+type Server struct {
+	cfg Config
+	tr  *obs.Trace
+
+	slots    chan struct{} // worker-slot semaphore, capacity cfg.Workers
+	admitted atomic.Int64  // running + queued requests
+	capacity int64         // Workers + QueueDepth
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	systems   *cache.LRU[*core.SystemCells]
+	pipelines *cache.LRU[*core.PipelineCells]
+	reports   *cache.LRU[[]byte]
+
+	mux *http.ServeMux
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.SystemEntries <= 0 {
+		cfg.SystemEntries = 256
+	}
+	if cfg.PipelineEntries <= 0 {
+		cfg.PipelineEntries = 1024
+	}
+	if cfg.ReportEntries <= 0 {
+		cfg.ReportEntries = 4096
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
+	s := &Server{
+		cfg:       cfg,
+		tr:        tr,
+		slots:     make(chan struct{}, cfg.Workers),
+		capacity:  int64(cfg.Workers + cfg.QueueDepth),
+		systems:   cache.New[*core.SystemCells](cfg.SystemEntries),
+		pipelines: cache.New[*core.PipelineCells](cfg.PipelineEntries),
+		reports:   cache.New[[]byte](cfg.ReportEntries),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler (also used directly by the
+// httptest harness).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Trace returns the recorder backing /metrics, for tests and embedding
+// processes.
+func (s *Server) Trace() *obs.Trace { return s.tr }
+
+// Drain puts the server into draining mode — new check requests are
+// rejected with 503 and /healthz reports "draining" — and waits until
+// every in-flight check has finished or ctx expires. It does not cancel
+// running checks; pair it with an http.Server.Shutdown deadline (as
+// cmd/rlserve does) when a hard stop is needed.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit reserves a worker slot, blocking in the bounded queue. It
+// returns a release function on success; otherwise the HTTP status the
+// request must be rejected with (429 when the queue is full, 503 when
+// draining) or a context error when the caller gave up while queued.
+func (s *Server) admit(ctx context.Context) (func(), int, error) {
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, nil
+	}
+	if n := s.admitted.Add(1); n > s.capacity {
+		s.admitted.Add(-1)
+		obs.Count(s.tr, "serve.shed", 1)
+		return nil, http.StatusTooManyRequests, nil
+	}
+	obs.Gauge(s.tr, "serve.queued", s.admitted.Load())
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		return nil, 0, ctx.Err()
+	}
+	obs.Gauge(s.tr, "serve.inflight", int64(len(s.slots)))
+	release := func() {
+		<-s.slots
+		s.admitted.Add(-1)
+		obs.Gauge(s.tr, "serve.inflight", int64(len(s.slots)))
+		obs.Gauge(s.tr, "serve.queued", s.admitted.Load())
+	}
+	return release, 0, nil
+}
+
+// checkContext derives the per-check context: the request's own context
+// (so a client disconnect cancels the check) bounded by the requested
+// or default timeout.
+func (s *Server) checkContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// resolveSystem parses the request's system text and returns its
+// structural key plus the cached single-flight artifact handle. The
+// cached system is re-parsed from the canonical rendering, so its
+// symbol numbering depends only on the key: artifacts built against it
+// are interchangeable no matter how later requests spell the system.
+func (s *Server) resolveSystem(text string) (string, *core.SystemCells, error) {
+	sys, err := ts.ParseString(text)
+	if err != nil {
+		return "", nil, err
+	}
+	canon := sys.FormatString()
+	key := hashKey("sys", canon)
+	sc, hit := s.systems.GetOrAdd(key, func() *core.SystemCells {
+		csys, perr := ts.ParseString(canon)
+		if perr != nil {
+			// Canonical text always round-trips; fall back defensively.
+			csys = sys
+		}
+		return core.NewSystemCells(csys)
+	})
+	if hit {
+		obs.Count(s.tr, "serve.cache.system_hits", 1)
+	}
+	return key, sc, nil
+}
+
+// resolveProperty parses the request's property against the cached
+// system's alphabet and returns its structural key part plus the
+// Property. Exactly one of ltlText and omegaText is non-empty
+// (validated at decode time).
+func resolveProperty(sc *core.SystemCells, ltlText, omegaText string) (string, core.Property, error) {
+	if ltlText != "" {
+		f, err := ltl.Parse(ltlText)
+		if err != nil {
+			return "", core.Property{}, err
+		}
+		// Canonical rendering: "GF result" and "G F result" share a key.
+		return "ltl\x00" + f.String(), core.FromFormula(f, nil), nil
+	}
+	o, err := rex.ParseOmega(sc.System().Alphabet(), omegaText)
+	if err != nil {
+		return "", core.Property{}, err
+	}
+	b, err := o.Buchi()
+	if err != nil {
+		return "", core.Property{}, err
+	}
+	// ω-regex properties are keyed by their raw text: the automaton is
+	// alphabet-bound, so the key must pair with the system key anyway.
+	return "omega\x00" + omegaText, core.FromAutomaton(b), nil
+}
+
+// pipelineFor returns the cached artifact set for (system, property),
+// creating one that shares the system's trimmed-behavior cells on a
+// miss.
+func (s *Server) pipelineFor(sysKey, propPart string, sc *core.SystemCells, p core.Property) *core.PipelineCells {
+	key := hashKey("pipe", sysKey, propPart)
+	pc, hit := s.pipelines.GetOrAdd(key, func() *core.PipelineCells {
+		return core.NewPipelineCellsSharing(sc, p)
+	})
+	if hit {
+		obs.Count(s.tr, "serve.cache.pipeline_hits", 1)
+	}
+	return pc
+}
+
+// reportKey keys the full-report cache per endpoint.
+func reportKey(endpoint, sysKey, propPart string) string {
+	return hashKey("report", endpoint, sysKey, propPart)
+}
+
+// isContextError reports whether err is (or wraps) a cancellation or
+// deadline error — the service's boundary between "the check was
+// stopped" and "the check failed".
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Wire format of the checking service. Every check endpoint accepts a
+// JSON body; decoding is strict (unknown fields are errors) and
+// validated before any automaton work starts, so the service can reject
+// malformed requests without spending a worker slot. DecodeCheckRequest
+// and DecodePortfolioRequest are the exact functions the fuzz target
+// FuzzServeRequest drives.
+
+// Wire-level limits. Requests beyond these are rejected with 400 before
+// parsing; they bound the parser work a single malformed or hostile
+// request can cause, independently of the worker-pool admission control.
+const (
+	// MaxBodyBytes bounds a request body (enforced via MaxBytesReader).
+	MaxBodyBytes = 1 << 20
+	// maxSystemBytes bounds the transition-system text inside a body.
+	maxSystemBytes = 1 << 19
+	// maxPropertyBytes bounds one property (LTL or ω-regex) text.
+	maxPropertyBytes = 1 << 12
+	// maxPortfolioProps bounds the number of properties per portfolio
+	// request.
+	maxPortfolioProps = 64
+	// maxTimeoutMS bounds the per-request timeout a client may ask for.
+	maxTimeoutMS = 10 * 60 * 1000
+)
+
+// CheckRequest is the body of the single-property check endpoints
+// (/v1/check/all, /v1/check/liveness, /v1/check/safety,
+// /v1/check/satisfies). Exactly one of LTL and Omega must be set.
+type CheckRequest struct {
+	// System is the transition system in the text format of
+	// ts.Parse: "init <state>" plus "<from> <action> <to>" lines.
+	System string `json:"system"`
+	// LTL is a PLTL property ("G F result" or the paper's "□◇result").
+	LTL string `json:"ltl,omitempty"`
+	// Omega is an ω-regular property "U ( V ) ^w" over the system's
+	// action names, instead of LTL.
+	Omega string `json:"omega,omitempty"`
+	// TimeoutMS optionally caps this request's wall time; the check is
+	// cancelled cooperatively when it expires. 0 means the server
+	// default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache skips the report cache (artifact cells are still shared);
+	// load tests use it to measure cold-path latency.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// PortfolioRequest is the body of /v1/check/portfolio: CheckAll for
+// every listed property against one system, sharing the trimmed system
+// and behavior automaton across properties.
+type PortfolioRequest struct {
+	System string `json:"system"`
+	// LTLs are PLTL property texts; verdicts come back in this order,
+	// after any Omegas.
+	LTLs []string `json:"ltls,omitempty"`
+	// Omegas are ω-regex property texts, appended after LTLs.
+	Omegas    []string `json:"omegas,omitempty"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+	NoCache   bool     `json:"no_cache,omitempty"`
+}
+
+// AbstractionRequest is the body of /v1/check/abstraction: the paper's
+// abstraction method end to end (abstract under Hom, check Eta there,
+// conclude per Corollary 8.4).
+type AbstractionRequest struct {
+	System string `json:"system"`
+	// Hom is an abstracting homomorphism as "a=>x, b=>" mapping lines;
+	// empty targets hide letters.
+	Hom string `json:"hom"`
+	// Eta is the abstract PLTL property in Σ'-normal form.
+	Eta       string `json:"eta"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: "bad_request", "overloaded",
+	// "timeout", "cancelled", "draining", or "internal".
+	Kind string `json:"kind"`
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// garbage.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// DecodeCheckRequest parses and validates a single-check request body.
+func DecodeCheckRequest(data []byte) (*CheckRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var req CheckRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSystemText(req.System); err != nil {
+		return nil, err
+	}
+	if (req.LTL == "") == (req.Omega == "") {
+		return nil, fmt.Errorf("exactly one of \"ltl\" and \"omega\" is required")
+	}
+	if err := validatePropertyText(req.LTL); err != nil {
+		return nil, err
+	}
+	if err := validatePropertyText(req.Omega); err != nil {
+		return nil, err
+	}
+	if err := validateTimeout(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodePortfolioRequest parses and validates a portfolio request body.
+func DecodePortfolioRequest(data []byte) (*PortfolioRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var req PortfolioRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSystemText(req.System); err != nil {
+		return nil, err
+	}
+	n := len(req.LTLs) + len(req.Omegas)
+	if n == 0 {
+		return nil, fmt.Errorf("at least one property (\"ltls\" or \"omegas\") is required")
+	}
+	if n > maxPortfolioProps {
+		return nil, fmt.Errorf("portfolio exceeds %d properties", maxPortfolioProps)
+	}
+	for _, t := range req.LTLs {
+		if t == "" {
+			return nil, fmt.Errorf("empty property in \"ltls\"")
+		}
+		if err := validatePropertyText(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range req.Omegas {
+		if t == "" {
+			return nil, fmt.Errorf("empty property in \"omegas\"")
+		}
+		if err := validatePropertyText(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := validateTimeout(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeAbstractionRequest parses and validates an abstraction request
+// body.
+func DecodeAbstractionRequest(data []byte) (*AbstractionRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var req AbstractionRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSystemText(req.System); err != nil {
+		return nil, err
+	}
+	if req.Hom == "" {
+		return nil, fmt.Errorf("\"hom\" is required")
+	}
+	if len(req.Hom) > maxPropertyBytes {
+		return nil, fmt.Errorf("hom text exceeds %d bytes", maxPropertyBytes)
+	}
+	if req.Eta == "" {
+		return nil, fmt.Errorf("\"eta\" is required")
+	}
+	if err := validatePropertyText(req.Eta); err != nil {
+		return nil, err
+	}
+	if err := validateTimeout(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func validateSystemText(text string) error {
+	if text == "" {
+		return fmt.Errorf("\"system\" is required")
+	}
+	if len(text) > maxSystemBytes {
+		return fmt.Errorf("system text exceeds %d bytes", maxSystemBytes)
+	}
+	return nil
+}
+
+func validatePropertyText(text string) error {
+	if len(text) > maxPropertyBytes {
+		return fmt.Errorf("property text exceeds %d bytes", maxPropertyBytes)
+	}
+	return nil
+}
+
+func validateTimeout(ms int) error {
+	if ms < 0 {
+		return fmt.Errorf("\"timeout_ms\" must be non-negative")
+	}
+	if ms > maxTimeoutMS {
+		return fmt.Errorf("\"timeout_ms\" exceeds %d", maxTimeoutMS)
+	}
+	return nil
+}

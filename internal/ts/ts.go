@@ -8,12 +8,14 @@
 package ts
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"relive/internal/alphabet"
 	"relive/internal/buchi"
 	"relive/internal/graph"
+	"relive/internal/interrupt"
 	"relive/internal/nfa"
 	"relive/internal/word"
 )
@@ -187,6 +189,15 @@ func (s *System) Behaviors() (*buchi.Buchi, error) {
 // continuation, so that every remaining finite path is a prefix of a
 // behavior. It returns an error when nothing survives.
 func (s *System) Trim() (*System, error) {
+	return s.TrimCtx(nil)
+}
+
+// TrimCtx is Trim with cooperative cancellation checkpoints in the
+// reachability pass and the liveness fixpoint, so a context deadline
+// stops the trimming of a huge system. A nil ctx never cancels; a
+// context error is returned as-is (wrapped), never conflated with the
+// "no infinite behavior" verdict error.
+func (s *System) TrimCtx(ctx context.Context) (*System, error) {
 	if s.initial < 0 {
 		return nil, fmt.Errorf("ts: system has no initial state")
 	}
@@ -200,12 +211,19 @@ func (s *System) Trim() (*System, error) {
 		}
 		return out
 	}
-	reach := graph.Reachable(n, []int{int(s.initial)}, succ)
+	reach, err := graph.ReachableCtx(ctx, n, []int{int(s.initial)}, succ)
+	if err != nil {
+		return nil, fmt.Errorf("ts: trim: %w", err)
+	}
 	alive := make([]bool, n)
 	copy(alive, reach)
+	var tick interrupt.Tick
 	for changed := true; changed; {
 		changed = false
 		for v := 0; v < n; v++ {
+			if err := tick.Poll(ctx); err != nil {
+				return nil, fmt.Errorf("ts: trim: %w", err)
+			}
 			if !alive[v] {
 				continue
 			}
