@@ -17,8 +17,11 @@
 //
 // -metrics-json writes one record per experiment with its wall-clock
 // duration and every observation (automaton sizes included), so
-// BENCH_*.json files can track sizes and timings across PRs.
-// -cpuprofile/-memprofile write pprof profiles.
+// BENCH_*.json files can track sizes and timings across PRs. A final
+// synthetic PHASES record carries p50/p90/p99/max latency per pipeline
+// phase (trim, property→Büchi, pre(L∩P), emptiness) over -phase-trials
+// instrumented checks (0 disables it). -cpuprofile/-memprofile write
+// pprof profiles.
 package main
 
 import (
@@ -41,14 +44,18 @@ func main() {
 }
 
 // caseMetrics is one experiment in the -metrics-json output; the schema
-// is append-only so BENCH_*.json files stay comparable across PRs.
+// is append-only so BENCH_*.json files stay comparable across PRs
+// (scripts/benchcmp reads `go test -bench` text, not this JSON, so new
+// fields cannot break it). Phases is only set on the synthetic PHASES
+// record carrying per-phase latency quantiles.
 type caseMetrics struct {
-	ID           string              `json:"id"`
-	Artifact     string              `json:"artifact"`
-	Title        string              `json:"title"`
-	DurationNS   int64               `json:"duration_ns"`
-	Passed       bool                `json:"passed"`
-	Observations []observationMetric `json:"observations"`
+	ID           string               `json:"id"`
+	Artifact     string               `json:"artifact"`
+	Title        string               `json:"title"`
+	DurationNS   int64                `json:"duration_ns"`
+	Passed       bool                 `json:"passed"`
+	Observations []observationMetric  `json:"observations"`
+	Phases       []exp.PhaseQuantiles `json:"phases,omitempty"`
 }
 
 type observationMetric struct {
@@ -67,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	parallel := fs.Int("parallel", 1, "worker-pool size for running experiments concurrently (0 = GOMAXPROCS)")
+	phaseTrials := fs.Int("phase-trials", 25, "instrumented checks behind the PHASES record in -metrics-json (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -142,6 +150,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		metrics = append(metrics, toMetrics(results[i], elapsed[i]))
 	}
 	if *metricsJSON != "" {
+		if *phaseTrials > 0 {
+			phases, err := phaseMetrics(*phaseTrials)
+			if err != nil {
+				fmt.Fprintf(stderr, "rlbench: %v\n", err)
+				return 2
+			}
+			metrics = append(metrics, phases)
+		}
 		if err := writeMetrics(metrics, *metricsJSON, stdout); err != nil {
 			fmt.Fprintf(stderr, "rlbench: %v\n", err)
 			return 2
@@ -179,6 +195,33 @@ func toMetrics(r exp.Result, elapsed time.Duration) caseMetrics {
 		})
 	}
 	return m
+}
+
+// phaseMetrics builds the synthetic PHASES record: per-phase
+// p50/p90/p99/max latency over a deterministic instrumented corpus, so
+// BENCH_*.json files track where checking time goes, not just totals.
+func phaseMetrics(trials int) (caseMetrics, error) {
+	start := time.Now()
+	phases, err := exp.PhaseDistributions(trials)
+	if err != nil {
+		return caseMetrics{}, err
+	}
+	m := caseMetrics{
+		ID:         "PHASES",
+		Artifact:   "histograms",
+		Title:      fmt.Sprintf("per-phase latency quantiles over %d instrumented checks", trials),
+		DurationNS: time.Since(start).Nanoseconds(),
+		Passed:     true,
+		Phases:     phases,
+	}
+	for _, p := range phases {
+		m.Observations = append(m.Observations, observationMetric{
+			Name:  p.Phase,
+			Value: fmt.Sprintf("n=%d p50=%dns p90=%dns p99=%dns max=%dns", p.Count, p.P50NS, p.P90NS, p.P99NS, p.MaxNS),
+			Match: true,
+		})
+	}
+	return m, nil
 }
 
 // writeMetrics writes the per-case metrics as indented JSON to path,

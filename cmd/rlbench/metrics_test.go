@@ -6,14 +6,17 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"relive/internal/core"
 )
 
 // TestMetricsJSONFile: -metrics-json must write one record per
-// experiment with a positive duration and the observations mirrored.
+// experiment with a positive duration and the observations mirrored
+// (with -phase-trials 0 suppressing the synthetic PHASES record).
 func TestMetricsJSONFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out, errOut strings.Builder
-	if code := run([]string{"-run", "E2", "-metrics-json", path}, &out, &errOut); code != 0 {
+	if code := run([]string{"-run", "E2", "-metrics-json", path, "-phase-trials", "0"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
 	}
 	data, err := os.ReadFile(path)
@@ -39,6 +42,52 @@ func TestMetricsJSONFile(t *testing.T) {
 	}
 	if len(m.Observations) == 0 {
 		t.Error("no observations recorded")
+	}
+	if len(m.Phases) != 0 {
+		t.Errorf("experiment record carries phases: %+v", m.Phases)
+	}
+}
+
+// TestMetricsJSONPhases: by default the metrics file ends with a
+// synthetic PHASES record summarizing per-phase latency quantiles over
+// the instrumented probe corpus.
+func TestMetricsJSONPhases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "E2", "-metrics-json", path, "-phase-trials", "5"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (stderr %s)", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []caseMetrics
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(metrics) != 2 {
+		t.Fatalf("got %d records, want 2 (E2 + PHASES)", len(metrics))
+	}
+	p := metrics[1]
+	if p.ID != "PHASES" {
+		t.Fatalf("last record ID = %q, want PHASES", p.ID)
+	}
+	if len(p.Phases) != len(core.Phases) {
+		t.Fatalf("got %d phases, want %d", len(p.Phases), len(core.Phases))
+	}
+	for i, q := range p.Phases {
+		if q.Phase != core.Phases[i] {
+			t.Errorf("phase[%d] = %q, want %q", i, q.Phase, core.Phases[i])
+		}
+		// Some corpus systems trim to empty and short-circuit later
+		// phases, so counts may fall below the trial count — but every
+		// phase must be exercised at least once.
+		if q.Count < 1 || q.Count > 5 {
+			t.Errorf("%s: count = %d, want 1..5", q.Phase, q.Count)
+		}
+		if q.MaxNS <= 0 || q.P90NS < q.P50NS || q.P99NS < q.P90NS || q.MaxNS < q.P99NS {
+			t.Errorf("%s: quantiles not ordered/positive: %+v", q.Phase, q)
+		}
 	}
 }
 

@@ -72,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	checker := relive.With()
 	if *stats || *traceJSON != "" {
 		trace = relive.NewTrace()
+		// Stamp a fresh trace ID so the exported dump is self-contained
+		// and joinable with rlserve's /debug/checks/{traceID} format.
+		trace.SetTraceID(obs.NewTraceID())
 		checker = relive.With(relive.WithRecorder(trace))
 	}
 	defer func() {

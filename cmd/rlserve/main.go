@@ -8,23 +8,33 @@
 //
 //	rlserve -addr :8080
 //	rlserve -addr 127.0.0.1:0 -workers 8 -queue 64 -timeout 30s
+//	rlserve -addr :8080 -slow 100ms -log-level info -log-json
+//	rlserve -version
 //
 // The bound address is printed to standard output once listening (so
-// ":0" can be used in scripts and tests). SIGINT/SIGTERM starts a
-// graceful drain: /healthz flips to "draining" (503), new checks are
-// rejected, in-flight checks finish, then the process exits. See
-// docs/SERVICE.md for the endpoints and wire format.
+// ":0" can be used in scripts and tests). Every request carries a trace
+// ID (caller-supplied traceparent or minted); completed checks land in
+// the flight recorder behind /debug/checks, and checks slower than
+// -slow keep their full span tree for /debug/checks/{traceID}.
+// -log-level enables per-request logging to stderr (debug, info, warn,
+// error; default off), -log-json switches it to JSON lines.
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to "draining"
+// (503), new checks are rejected, in-flight checks finish, then the
+// process exits. See docs/SERVICE.md for the endpoints and wire format.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,7 +57,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	par := fs.Int("par", 0, "per-check verdict parallelism for CheckAll (0 = serial)")
 	timeout := fs.Duration("timeout", 0, "default per-check timeout when the request sets none (0 = 60s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight checks on shutdown")
+	flight := fs.Int("flight", 0, "flight recorder size: completed checks kept for /debug/checks (0 = 256, negative disables tracing)")
+	slow := fs.Duration("slow", 0, "slow-check threshold: checks at or over it keep their full span tree for /debug/checks/{traceID} (0 = 250ms)")
+	logLevel := fs.String("log-level", "off", "per-request logging to stderr: debug, info, warn, error, or off")
+	logJSON := fs.Bool("log-json", false, "log requests as JSON lines instead of text")
+	version := fs.Bool("version", false, "print build info as JSON and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		enc := json.NewEncoder(stdout)
+		enc.Encode(serve.Build())
+		return 0
+	}
+	logger, err := buildLogger(*logLevel, *logJSON, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
 		return 2
 	}
 
@@ -56,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		QueueDepth:     *queue,
 		Parallelism:    *par,
 		DefaultTimeout: *timeout,
+		FlightEntries:  *flight,
+		SlowThreshold:  *slow,
+		Logger:         logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -94,4 +122,29 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintln(stderr, "rlserve: drained, exiting")
 	return 0
+}
+
+// buildLogger constructs the request logger for -log-level/-log-json;
+// "off" (the default) disables logging entirely (a nil logger).
+func buildLogger(level string, jsonLines bool, w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "off", "":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error, off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if jsonLines {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
 }

@@ -1,0 +1,39 @@
+package core
+
+// Phase labels for the decision-procedure pipeline. A full check
+// (Section 4) decomposes into four phases: trimming the system and
+// building its behavior automaton, translating the property to a Büchi
+// automaton (and its negation), constructing the reduced pre(L∩P)
+// product, and the emptiness/inclusion checks that produce verdicts.
+// The serving layer aggregates span durations by phase into latency
+// histograms, and the flight recorder stores per-phase timings with
+// each completed check.
+const (
+	PhaseTrim      = "trim"
+	PhaseProperty  = "property_to_buchi"
+	PhasePre       = "pre_product"
+	PhaseEmptiness = "emptiness"
+)
+
+// Phases lists the phase labels in pipeline order.
+var Phases = []string{PhaseTrim, PhaseProperty, PhasePre, PhaseEmptiness}
+
+// PhaseOf maps an obs span name emitted by the decision procedures to
+// its phase label, or "" for spans that are not a pipeline phase
+// (wrappers like core.CheckAll, serving-layer spans, worker spans).
+// The mapped spans never nest inside one another — each is a
+// single-flight cell computation or a leaf check — so summing the
+// durations of a trace's mapped spans measures each phase once.
+func PhaseOf(spanName string) string {
+	switch spanName {
+	case "lim(L)":
+		return PhaseTrim
+	case "P→Büchi", "¬P":
+		return PhaseProperty
+	case "pre(L∩P)":
+		return PhasePre
+	case "pre(L) ⊆ pre(L∩P)", "L ∩ lim(pre(L∩P)) ⊆ P", "L ∩ ¬P = ∅":
+		return PhaseEmptiness
+	}
+	return ""
+}

@@ -7,17 +7,29 @@ import (
 )
 
 // Dump is the machine-readable form of a Trace: every span plus the
-// final counter and gauge values. It is what -trace-json emits and what
-// ReadJSON parses back.
+// final counter and gauge values. It is what -trace-json emits, what
+// the service's /debug/checks/{traceID} endpoint replays, and what
+// ReadJSON parses back. TraceID and OriginUnixNS make a dump
+// self-contained: span StartNS offsets anchor to the wall-clock origin,
+// and the trace ID joins the dump with request logs and the flight
+// recorder.
 type Dump struct {
-	Spans    []SpanRecord     `json:"spans"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	TraceID      string           `json:"trace_id,omitempty"`
+	OriginUnixNS int64            `json:"origin_unix_ns,omitempty"`
+	Spans        []SpanRecord     `json:"spans"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
+	Gauges       map[string]int64 `json:"gauges,omitempty"`
 }
 
 // Dump snapshots the trace.
 func (t *Trace) Dump() Dump {
-	return Dump{Spans: t.Spans(), Counters: t.Counters(), Gauges: t.Gauges()}
+	return Dump{
+		TraceID:      t.TraceID(),
+		OriginUnixNS: t.Origin().UnixNano(),
+		Spans:        t.Spans(),
+		Counters:     t.Counters(),
+		Gauges:       t.Gauges(),
+	}
 }
 
 // WriteJSON writes the trace as indented JSON.

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTeeMetricsRouting: spans land only in the request trace; counters
+// and gauges land in both the request trace and the metrics trace.
+func TestTeeMetricsRouting(t *testing.T) {
+	req, metrics := NewTrace(), NewTrace()
+	rec := TeeMetrics(req, metrics)
+
+	sp := StartSpan(rec, "serve.all").Tag("outcome", "ok").Int("n", 3)
+	sp.Count("serve.completed", 1)
+	Gauge(rec, "serve.inflight", 2)
+	sp.End()
+
+	if got := len(req.Spans()); got != 1 {
+		t.Fatalf("request trace has %d spans, want 1", got)
+	}
+	if got := len(metrics.Spans()); got != 0 {
+		t.Fatalf("metrics trace has %d spans, want 0 (spans must not accumulate process-wide)", got)
+	}
+	s := req.Spans()[0]
+	if s.Tags["outcome"] != "ok" || s.Ints["n"] != 3 || s.DurationNS < 0 {
+		t.Errorf("span attributes lost through the tee: %+v", s)
+	}
+	for _, tr := range []*Trace{req, metrics} {
+		if tr.Counters()["serve.completed"] != 1 {
+			t.Errorf("counter missing from one side of the tee")
+		}
+		if tr.Gauges()["serve.inflight"] != 2 {
+			t.Errorf("gauge missing from one side of the tee")
+		}
+	}
+}
+
+func TestTeeMetricsNilSides(t *testing.T) {
+	tr := NewTrace()
+	if got := TeeMetrics(nil, tr); got != Recorder(tr) {
+		t.Error("TeeMetrics(nil, tr) should degrade to tr")
+	}
+	if got := TeeMetrics(tr, nil); got != Recorder(tr) {
+		t.Error("TeeMetrics(tr, nil) should degrade to tr")
+	}
+	if got := TeeMetrics(nil, nil); got != nil {
+		t.Error("TeeMetrics(nil, nil) should stay nil (allocation-free off path)")
+	}
+}
+
+// TestTeeMetricsParentedForkWorker: ForkWorker over a tee must keep
+// explicit parenting on the spans side.
+func TestTeeMetricsParentedForkWorker(t *testing.T) {
+	req, metrics := NewTrace(), NewTrace()
+	rec := TeeMetrics(req, metrics)
+	root := StartSpan(rec, "serve.all")
+	w := ForkWorker(rec, "rel-liveness", root.ID())
+	top := w.SpanStart("core.RelativeLiveness")
+	w.SpanEnd(top)
+	root.End()
+
+	s := spanByName(t, req.Spans(), "core.RelativeLiveness")
+	if s.Parent != root.ID() {
+		t.Errorf("worker span parented under %d, want the request root %d", s.Parent, root.ID())
+	}
+	if s.Tags["worker"] != "rel-liveness" {
+		t.Errorf("worker tag lost through tee: %+v", s.Tags)
+	}
+}
+
+// TestNestedForkWorkerAttribution is the span-drift regression test:
+// a worker forked from another worker's recorder (a portfolio pool
+// inside a parallel check) must parent its spans under the parent span
+// it was given — never under whatever a sibling worker has open on its
+// local bracketing stack, and never under another request's subtree
+// after its own parent span has ended.
+func TestNestedForkWorkerAttribution(t *testing.T) {
+	tr := NewTrace()
+	reqA := tr.SpanStart("request-A")
+	outer := ForkWorker(tr, "outer", reqA)
+	anchor := outer.SpanStart("core.CheckPortfolio")
+
+	// The outer worker opens (and leaves open) an unrelated span — the
+	// sibling state that used to capture nested workers' spans.
+	sibling := outer.SpanStart("sibling-open")
+
+	inner := ForkWorker(outer, "worker-0", anchor)
+	got := inner.SpanStart("core.CheckAll")
+	inner.SpanEnd(got)
+
+	outer.SpanEnd(sibling)
+	outer.SpanEnd(anchor)
+	tr.SpanEnd(reqA)
+
+	// A second request starts after the first finished; the late inner
+	// worker span from request A must not attach to it.
+	reqB := tr.SpanStart("request-B")
+	late := ForkWorker(outer, "worker-1", anchor)
+	lateSpan := late.SpanStart("core.CheckAll.late")
+	late.SpanEnd(lateSpan)
+	tr.SpanEnd(reqB)
+
+	spans := tr.Spans()
+	if s := spanByName(t, spans, "core.CheckAll"); s.Parent != spanByName(t, spans, "core.CheckPortfolio").ID {
+		t.Errorf("nested worker span parented under %d (%q), want its anchor",
+			s.Parent, nameOf(spans, s.Parent))
+	}
+	if s := spanByName(t, spans, "core.CheckAll.late"); s.Parent != spanByName(t, spans, "core.CheckPortfolio").ID {
+		t.Errorf("late worker span drifted to %d (%q), want its request's anchor",
+			s.Parent, nameOf(spans, s.Parent))
+	}
+}
+
+func nameOf(spans []SpanRecord, id SpanID) string {
+	for _, s := range spans {
+		if s.ID == id {
+			return s.Name
+		}
+	}
+	return "<none>"
+}
+
+// TestNestedForkWorkerConcurrent drives nested forks from many
+// goroutines under -race; every leaf must stay inside its own request's
+// subtree.
+func TestNestedForkWorkerConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	const requests = 4
+	roots := make([]SpanID, requests)
+	for r := 0; r < requests; r++ {
+		roots[r] = tr.SpanStartAt("request", 0)
+	}
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outer := ForkWorker(tr, "outer", roots[r])
+			anchor := outer.SpanStart("anchor")
+			var iwg sync.WaitGroup
+			for k := 0; k < 4; k++ {
+				iwg.Add(1)
+				go func() {
+					defer iwg.Done()
+					inner := ForkWorker(outer, "inner", anchor)
+					for i := 0; i < 20; i++ {
+						sp := inner.SpanStart("leaf")
+						inner.SpanEnd(sp)
+					}
+				}()
+			}
+			iwg.Wait()
+			outer.SpanEnd(anchor)
+			tr.SpanEnd(roots[r])
+		}(r)
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	parentOf := map[SpanID]SpanRecord{}
+	for _, s := range spans {
+		parentOf[s.ID] = s
+	}
+	rootOf := func(s SpanRecord) SpanID {
+		for s.Parent != 0 {
+			s = parentOf[s.Parent]
+		}
+		return s.ID
+	}
+	anchors := map[SpanID]SpanID{} // anchor id -> its request root
+	for _, s := range spans {
+		if s.Name == "anchor" {
+			anchors[s.ID] = rootOf(s)
+		}
+	}
+	for _, s := range spans {
+		if s.Name != "leaf" {
+			continue
+		}
+		if _, ok := anchors[s.Parent]; !ok {
+			t.Fatalf("leaf parented under %q, want an anchor", parentOf[s.Parent].Name)
+		}
+	}
+}

@@ -30,6 +30,7 @@ type SpanRecord struct {
 type Trace struct {
 	mu       sync.Mutex
 	origin   time.Time
+	traceID  string
 	spans    []SpanRecord
 	open     []SpanID
 	counters map[string]int64
@@ -43,6 +44,31 @@ func NewTrace() *Trace {
 		counters: map[string]int64{},
 		gauges:   map[string]int64{},
 	}
+}
+
+// SetTraceID stamps the trace with a request/trace identifier (see
+// NewTraceID); it is carried in the JSON dump so an exported trace is
+// self-contained and joinable with service logs and the flight
+// recorder.
+func (t *Trace) SetTraceID(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traceID = id
+}
+
+// TraceID returns the identifier set by SetTraceID, or "".
+func (t *Trace) TraceID() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// Origin returns the trace's wall-clock time origin; every span's
+// StartNS is an offset from it.
+func (t *Trace) Origin() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.origin
 }
 
 // SpanStart implements Recorder.
@@ -210,6 +236,7 @@ func (t *Trace) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.origin = time.Now()
+	t.traceID = ""
 	t.spans = nil
 	t.open = nil
 	t.counters = map[string]int64{}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// DebugChecksResponse is the body of GET /debug/checks: what the server
+// is doing right now and what it just finished, newest first.
+type DebugChecksResponse struct {
+	Inflight []InflightRecord `json:"inflight"`
+	Recent   []CheckRecord    `json:"recent"`
+}
+
+// handleDebugChecks lists in-flight checks (with elapsed time) and the
+// flight recorder's ring of completed ones.
+func (s *Server) handleDebugChecks(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		s.writeError(w, r, http.StatusNotFound, "disabled", fmt.Errorf("flight recorder disabled (flight entries < 0)"))
+		return
+	}
+	resp := DebugChecksResponse{
+		Inflight: s.flight.running(time.Now()),
+		Recent:   s.flight.recent(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// handleDebugTrace replays the full span tree of a slow check by trace
+// ID, in the same JSON form rlcheck -trace-json emits.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace")
+	dump, ok := s.flight.trace(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "not_found",
+			fmt.Errorf("no retained trace for %q (only checks over the slow threshold keep their span tree)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(dump)
+}

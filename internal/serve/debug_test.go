@@ -1,0 +1,253 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relive/internal/core"
+	"relive/internal/obs"
+	"relive/internal/serve"
+)
+
+// The request-tracing and flight-recorder side of the e2e harness:
+// traceparent adoption and echo, /debug/checks listing completed and
+// in-flight checks, /debug/checks/{traceID} replaying retained span
+// trees, and the histogram families on /metrics.
+
+// getJSON fetches a URL and decodes the JSON body into v, returning
+// the status.
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitFlightRecord polls for a completed flight record matching pred.
+func waitFlightRecord(t *testing.T, s *serve.Server, pred func(serve.CheckRecord) bool) serve.CheckRecord {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, rec := range s.FlightRecords() {
+			if pred(rec) {
+				return rec
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no matching flight record (have %+v)", s.FlightRecords())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTraceparentAdoptionAndReplay: a caller-supplied traceparent is
+// adopted as the check's trace ID, echoed on the response, recorded in
+// the flight ring with phase timings, and — with the slow threshold at
+// its floor — the full span tree is replayable from /debug/checks/{id}.
+func TestTraceparentAdoptionAndReplay(t *testing.T) {
+	s, hs := newTestServer(t, serve.Config{SlowThreshold: time.Nanosecond})
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+	data := `{"system":"` + strings.ReplaceAll(serverText, "\n", `\n`) + `","ltl":"G F result","no_cache":true}`
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/check/all", strings.NewReader(data))
+	req.Header.Set(serve.TraceHeader, "00-"+tid+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status %d", resp.StatusCode)
+	}
+	echoed, ok := obs.ParseTraceparent(resp.Header.Get(serve.TraceHeader))
+	if !ok || echoed != tid {
+		t.Fatalf("response traceparent %q does not echo trace id %q",
+			resp.Header.Get(serve.TraceHeader), tid)
+	}
+
+	rec := waitFlightRecord(t, s, func(r serve.CheckRecord) bool { return r.TraceID == tid })
+	if rec.Endpoint != "all" || rec.Verdict != "ok" || rec.CachePath != "miss" {
+		t.Errorf("flight record %+v, want endpoint=all verdict=ok cache_path=miss", rec)
+	}
+	if rec.DurationNS <= 0 || rec.StartUnixNS <= 0 {
+		t.Errorf("flight record has no timing: %+v", rec)
+	}
+	if rec.PhaseNS[core.PhaseTrim] <= 0 || rec.PhaseNS[core.PhaseEmptiness] <= 0 {
+		t.Errorf("flight record phases %+v, want non-zero trim and emptiness", rec.PhaseNS)
+	}
+	if !rec.Slow || !rec.HasTrace {
+		t.Fatalf("check not slow-marked with a retained trace: %+v", rec)
+	}
+
+	var dump obs.Dump
+	if status := getJSON(t, hs.URL+"/debug/checks/"+tid, &dump); status != http.StatusOK {
+		t.Fatalf("trace replay status %d", status)
+	}
+	if dump.TraceID != tid || dump.OriginUnixNS == 0 {
+		t.Fatalf("replayed dump not self-contained: trace_id=%q origin=%d", dump.TraceID, dump.OriginUnixNS)
+	}
+	var sawServe, sawPhase bool
+	for _, sp := range dump.Spans {
+		if sp.Name == "serve.all" && sp.Tags["outcome"] == "ok" {
+			sawServe = true
+		}
+		if core.PhaseOf(sp.Name) != "" && sp.DurationNS >= 0 {
+			sawPhase = true
+		}
+	}
+	if !sawServe || !sawPhase {
+		t.Errorf("replayed trace incomplete: serve span %v, phase span %v (%d spans)",
+			sawServe, sawPhase, len(dump.Spans))
+	}
+
+	// Unknown trace IDs are a clean 404.
+	if status := getJSON(t, hs.URL+"/debug/checks/"+strings.Repeat("ab", 16), nil); status != http.StatusNotFound {
+		t.Errorf("unknown trace id status %d, want 404", status)
+	}
+}
+
+// TestDebugChecksListing: /debug/checks reports recent checks (newest
+// first) across cache paths, and every response carries a fresh trace
+// ID when the caller sends none.
+func TestDebugChecksListing(t *testing.T) {
+	_, hs := newTestServer(t, serve.Config{})
+	req := serve.CheckRequest{System: serverText, LTL: "G F result"}
+	_, _, _ = postJSON(t, hs.URL+"/v1/check/all", req) // miss
+	_, hdr, _ := postJSON(t, hs.URL+"/v1/check/all", req)
+	if hdr != "hit" {
+		t.Fatalf("second request not a report hit (%q)", hdr)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var dbg serve.DebugChecksResponse
+	for {
+		if status := getJSON(t, hs.URL+"/debug/checks", &dbg); status != http.StatusOK {
+			t.Fatalf("/debug/checks status %d", status)
+		}
+		if len(dbg.Recent) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/checks lists %d records, want 2", len(dbg.Recent))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Newest first: the report hit precedes the cold miss.
+	if dbg.Recent[0].CachePath != "report-hit" || dbg.Recent[1].CachePath != "miss" {
+		t.Errorf("cache paths = %q, %q; want report-hit then miss",
+			dbg.Recent[0].CachePath, dbg.Recent[1].CachePath)
+	}
+	for _, rec := range dbg.Recent[:2] {
+		if !obs.ValidTraceID(rec.TraceID) {
+			t.Errorf("record carries invalid trace id %q", rec.TraceID)
+		}
+		if rec.Verdict != "ok" || rec.Hash == "" {
+			t.Errorf("record %+v, want verdict ok and a structural hash", rec)
+		}
+	}
+	if dbg.Recent[0].Hash != dbg.Recent[1].Hash {
+		t.Error("same request hashed to different structural keys")
+	}
+}
+
+// TestFlightRecorderDisabled: FlightEntries < 0 turns request tracing
+// off — /debug/checks 404s, no records accumulate, spans fall back to
+// the process-wide trace, but traceparent echo still works.
+func TestFlightRecorderDisabled(t *testing.T) {
+	s, hs := newTestServer(t, serve.Config{FlightEntries: -1})
+	req := serve.CheckRequest{System: serverText, LTL: "G F result", NoCache: true}
+	data, _ := json.Marshal(req)
+	resp, err := http.Post(hs.URL+"/v1/check/all", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status %d", resp.StatusCode)
+	}
+	if _, ok := obs.ParseTraceparent(resp.Header.Get(serve.TraceHeader)); !ok {
+		t.Error("no traceparent echoed with the flight recorder disabled")
+	}
+	if got := s.FlightRecords(); got != nil {
+		t.Errorf("disabled recorder returned records: %+v", got)
+	}
+	if status := getJSON(t, hs.URL+"/debug/checks", nil); status != http.StatusNotFound {
+		t.Errorf("/debug/checks status %d with recorder disabled, want 404", status)
+	}
+	// Degraded mode: spans land on the shared trace, as before tracing.
+	if _, ok := s.Trace().Find("serve.all"); !ok {
+		t.Error("serve.all span missing from the shared trace in degraded mode")
+	}
+}
+
+// TestHealthzBuildInfo: /healthz carries the build identity and pool
+// occupancy the ISSUE asks for.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, hs := newTestServer(t, serve.Config{Workers: 3})
+	var h serve.HealthResponse
+	if status := getJSON(t, hs.URL+"/healthz", &h); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if h.Workers != 3 || h.QueueDepth <= 0 {
+		t.Errorf("pool shape = %d workers, %d queue; want 3 and a default queue", h.Workers, h.QueueDepth)
+	}
+	if h.GoVersion == "" || h.Version == "" {
+		t.Errorf("build info empty: version %q, go %q", h.Version, h.GoVersion)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime %f < 0", h.UptimeSeconds)
+	}
+	build := serve.Build()
+	if h.GoVersion != build.GoVersion || h.Version != build.Version {
+		t.Errorf("healthz build %q/%q differs from serve.Build() %q/%q",
+			h.Version, h.GoVersion, build.Version, build.GoVersion)
+	}
+}
+
+// TestDebugChecksConcurrent hammers checks, /debug/checks readers, and
+// trace fetches at once; run under -race via make test.
+func TestDebugChecksConcurrent(t *testing.T) {
+	s, hs := newTestServer(t, serve.Config{Workers: 4, QueueDepth: 64, SlowThreshold: time.Nanosecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys := fmt.Sprintf("init q0\nq0 a q%d\nq%d b q0\n", 1+i%5, 1+i%5)
+			status, _, body := postJSON(t, hs.URL+"/v1/check/all",
+				serve.CheckRequest{System: sys, LTL: "G F a", NoCache: i%2 == 0})
+			if status != http.StatusOK {
+				t.Errorf("check %d: status %d: %s", i, status, body)
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dbg serve.DebugChecksResponse
+			getJSON(t, hs.URL+"/debug/checks", &dbg)
+			for _, rec := range dbg.Recent {
+				if rec.HasTrace {
+					getJSON(t, hs.URL+"/debug/checks/"+rec.TraceID, nil)
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if rec := waitFlightRecord(t, s, func(r serve.CheckRecord) bool { return r.Verdict == "ok" }); rec.TraceID == "" {
+		t.Error("no completed check recorded")
+	}
+}

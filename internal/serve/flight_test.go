@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"relive/internal/obs"
+)
+
+func record(id string, durNS int64) CheckRecord {
+	return CheckRecord{TraceID: id, Endpoint: "all", Verdict: "ok", DurationNS: durNS}
+}
+
+// TestFlightRingEviction: the ring keeps exactly the last N completed
+// checks, newest first, no matter how many flow through.
+func TestFlightRingEviction(t *testing.T) {
+	f := newFlightRecorder(3, 2, time.Hour)
+	for i := 0; i < 10; i++ {
+		id := string(rune('a' + i))
+		f.begin(id, "all", time.Now())
+		f.end(record(id, 1), nil)
+	}
+	recent := f.recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d records, want 3", len(recent))
+	}
+	for i, want := range []string{"j", "i", "h"} {
+		if recent[i].TraceID != want {
+			t.Errorf("recent[%d] = %q, want %q (newest first)", i, recent[i].TraceID, want)
+		}
+	}
+	if got := f.running(time.Now()); len(got) != 0 {
+		t.Errorf("%d checks still in flight after all ended", len(got))
+	}
+}
+
+// TestFlightSlowTraceRetention: only checks over the threshold keep
+// their span tree, and the retained set is bounded, oldest evicted.
+func TestFlightSlowTraceRetention(t *testing.T) {
+	f := newFlightRecorder(10, 2, 100*time.Millisecond)
+	mkTrace := func(id string) *obs.Trace {
+		tr := obs.NewTrace()
+		tr.SetTraceID(id)
+		sp := tr.SpanStart("serve.all")
+		tr.SpanEnd(sp)
+		return tr
+	}
+	fast := record("fast", int64(time.Millisecond))
+	f.end(fast, mkTrace("fast"))
+	for _, id := range []string{"slow1", "slow2", "slow3"} {
+		f.end(record(id, int64(time.Second)), mkTrace(id))
+	}
+	if _, ok := f.trace("fast"); ok {
+		t.Error("fast check's trace retained despite being under the threshold")
+	}
+	if _, ok := f.trace("slow1"); ok {
+		t.Error("oldest slow trace not evicted past the cap of 2")
+	}
+	for _, id := range []string{"slow2", "slow3"} {
+		d, ok := f.trace(id)
+		if !ok {
+			t.Fatalf("slow trace %q not retained", id)
+		}
+		if d.TraceID != id || len(d.Spans) != 1 {
+			t.Errorf("retained dump for %q malformed: %+v", id, d)
+		}
+	}
+	recent := f.recent()
+	for _, r := range recent {
+		wantSlow := r.TraceID != "fast"
+		if r.Slow != wantSlow {
+			t.Errorf("record %q slow = %v, want %v", r.TraceID, r.Slow, wantSlow)
+		}
+	}
+}
+
+// TestFlightDisabledNilSafe: a nil flight recorder (tracing disabled)
+// is a no-op on every path — and allocation-free, so disabling the
+// recorder really removes the per-request cost.
+func TestFlightDisabledNilSafe(t *testing.T) {
+	var f *flightRecorder
+	f.begin("x", "all", time.Now())
+	f.end(record("x", 1), nil)
+	if got := f.recent(); got != nil {
+		t.Errorf("nil recorder recent() = %v", got)
+	}
+	if got := f.running(time.Now()); got != nil {
+		t.Errorf("nil recorder running() = %v", got)
+	}
+	if _, ok := f.trace("x"); ok {
+		t.Error("nil recorder returned a trace")
+	}
+	rec := record("x", 1)
+	now := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		f.begin("x", "all", now)
+		f.end(rec, nil)
+	}); allocs != 0 {
+		t.Fatalf("disabled flight recorder allocates %v per check, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if phaseDurations(nil) != nil {
+			t.Fatal("phaseDurations(nil) != nil")
+		}
+	}); allocs != 0 {
+		t.Fatalf("phaseDurations(nil) allocates %v, want 0", allocs)
+	}
+}

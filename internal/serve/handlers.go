@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"relive/internal/alphabet"
 	"relive/internal/core"
@@ -64,29 +65,35 @@ type AbstractionResponse struct {
 	Transformed       string   `json:"transformed,omitempty"`
 }
 
-// HealthResponse is the body of /healthz.
+// HealthResponse is the body of /healthz: serving state, worker-pool
+// occupancy, and the build identity (also printed by rlserve -version).
 type HealthResponse struct {
-	Status   string `json:"status"` // "ok" or "draining"
-	Inflight int    `json:"inflight"`
-	Admitted int64  `json:"admitted"`
+	Status        string  `json:"status"` // "ok" or "draining"
+	Inflight      int     `json:"inflight"`
+	Admitted      int64   `json:"admitted"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/check/all", s.checkHandler("all",
+	s.mux.HandleFunc("POST /v1/check/all", s.traced("all", true, s.checkHandler("all",
 		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
-			return core.CheckAllCellsCtx(ctx, s.tr, pc, s.cfg.Parallelism)
-		}))
-	s.mux.HandleFunc("POST /v1/check/liveness", s.checkHandler("liveness",
+			return core.CheckAllCellsCtx(ctx, s.recorder(ctx), pc, s.cfg.Parallelism)
+		})))
+	s.mux.HandleFunc("POST /v1/check/liveness", s.traced("liveness", true, s.checkHandler("liveness",
 		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
-			res, err := core.RelativeLivenessCellsCtx(ctx, s.tr, pc)
+			res, err := core.RelativeLivenessCellsCtx(ctx, s.recorder(ctx), pc)
 			if err != nil {
 				return nil, err
 			}
 			return &LivenessResponse{Holds: res.Holds, BadPrefix: names(sc.System().Alphabet(), res.BadPrefix)}, nil
-		}))
-	s.mux.HandleFunc("POST /v1/check/safety", s.checkHandler("safety",
+		})))
+	s.mux.HandleFunc("POST /v1/check/safety", s.traced("safety", true, s.checkHandler("safety",
 		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
-			res, err := core.RelativeSafetyCellsCtx(ctx, s.tr, pc)
+			res, err := core.RelativeSafetyCellsCtx(ctx, s.recorder(ctx), pc)
 			if err != nil {
 				return nil, err
 			}
@@ -96,10 +103,10 @@ func (s *Server) routes() {
 				Violation:     names(ab, res.Violation.Prefix),
 				ViolationLoop: names(ab, res.Violation.Loop),
 			}, nil
-		}))
-	s.mux.HandleFunc("POST /v1/check/satisfies", s.checkHandler("satisfies",
+		})))
+	s.mux.HandleFunc("POST /v1/check/satisfies", s.traced("satisfies", true, s.checkHandler("satisfies",
 		func(ctx context.Context, sc *core.SystemCells, pc *core.PipelineCells) (any, error) {
-			res, err := core.SatisfiesCellsCtx(ctx, s.tr, pc)
+			res, err := core.SatisfiesCellsCtx(ctx, s.recorder(ctx), pc)
 			if err != nil {
 				return nil, err
 			}
@@ -109,11 +116,13 @@ func (s *Server) routes() {
 				Counterexample:     names(ab, res.Counterexample.Prefix),
 				CounterexampleLoop: names(ab, res.Counterexample.Loop),
 			}, nil
-		}))
-	s.mux.HandleFunc("POST /v1/check/portfolio", s.handlePortfolio)
-	s.mux.HandleFunc("POST /v1/check/abstraction", s.handleAbstraction)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+		})))
+	s.mux.HandleFunc("POST /v1/check/portfolio", s.traced("portfolio", true, s.handlePortfolio))
+	s.mux.HandleFunc("POST /v1/check/abstraction", s.traced("abstraction", true, s.handleAbstraction))
+	s.mux.HandleFunc("GET /healthz", s.traced("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.traced("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/checks", s.traced("debug", false, s.handleDebugChecks))
+	s.mux.HandleFunc("GET /debug/checks/{trace}", s.traced("debug", false, s.handleDebugTrace))
 }
 
 // checkHandler builds the handler for one single-property endpoint:
@@ -124,35 +133,40 @@ func (s *Server) checkHandler(endpoint string, run func(context.Context, *core.S
 		obs.Count(s.tr, "serve.requests", 1)
 		body, err := readBody(w, r)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		req, err := DecodeCheckRequest(body)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		sysKey, sc, err := s.resolveSystem(req.System)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		propPart, prop, err := resolveProperty(sc, req.LTL, req.Omega)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		rkey := reportKey(endpoint, sysKey, propPart)
+		ri := reqFrom(r.Context())
+		if ri != nil {
+			ri.hash = rkey
+		}
 		if !req.NoCache {
 			if cached, ok := s.reports.Get(rkey); ok {
 				obs.Count(s.tr, "serve.cache.report_hits", 1)
+				s.noteCachePath(ri, cachePathReportHit, true)
 				writeCached(w, cached, true)
 				return
 			}
 		}
 		release, status, aerr := s.admit(r.Context())
 		if aerr != nil || status != 0 {
-			s.writeAdmissionFailure(w, status, aerr)
+			s.writeAdmissionFailure(w, r, status, aerr)
 			return
 		}
 		s.inflight.Add(1)
@@ -161,8 +175,11 @@ func (s *Server) checkHandler(endpoint string, run func(context.Context, *core.S
 
 		ctx, cancel := s.checkContext(r, req.TimeoutMS)
 		defer cancel()
-		sp := obs.StartSpan(s.tr, "serve."+endpoint)
-		out, err := run(ctx, sc, s.pipelineFor(sysKey, propPart, sc, prop))
+		rec := s.recorder(r.Context())
+		pc, pipeHit := s.pipelineFor(sysKey, propPart, sc, prop)
+		s.noteCachePath(ri, pipePath(pipeHit), false)
+		sp := obs.StartSpan(rec, "serve."+endpoint)
+		out, err := run(ctx, sc, pc)
 		if err != nil {
 			sp.Tag("outcome", s.outcome(err))
 			sp.End()
@@ -171,7 +188,33 @@ func (s *Server) checkHandler(endpoint string, run func(context.Context, *core.S
 		}
 		sp.Tag("outcome", "ok")
 		sp.End()
-		s.finish(w, rkey, out, req.NoCache)
+		s.finish(w, r, rkey, out, req.NoCache)
+	}
+}
+
+// Cache-path labels: where a check's answer came from.
+const (
+	cachePathReportHit   = "report-hit"   // marshaled report replayed, no worker slot
+	cachePathPipelineHit = "pipeline-hit" // artifact cells reused, verdicts recomputed
+	cachePathMiss        = "miss"         // full cold pipeline
+)
+
+func pipePath(hit bool) string {
+	if hit {
+		return cachePathPipelineHit
+	}
+	return cachePathMiss
+}
+
+// noteCachePath records where the response came from; a report hit is
+// also a completed check ("ok") since it bypasses the run entirely.
+func (s *Server) noteCachePath(ri *reqInfo, path string, reportHit bool) {
+	if ri == nil {
+		return
+	}
+	ri.cachePath = path
+	if reportHit {
+		ri.verdict = "ok"
 	}
 }
 
@@ -183,17 +226,17 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	obs.Count(s.tr, "serve.requests", 1)
 	body, err := readBody(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	req, err := DecodePortfolioRequest(body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	sysKey, sc, err := s.resolveSystem(req.System)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	type job struct {
@@ -202,38 +245,49 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs := make([]job, 0, len(req.LTLs)+len(req.Omegas))
 	keyParts := []string{"portfolio", sysKey}
+	allPipesHit := true
 	add := func(ltlText, omegaText string) error {
 		part, prop, perr := resolveProperty(sc, ltlText, omegaText)
 		if perr != nil {
 			return perr
 		}
-		jobs = append(jobs, job{part: part, pc: s.pipelineFor(sysKey, part, sc, prop)})
+		pc, hit := s.pipelineFor(sysKey, part, sc, prop)
+		allPipesHit = allPipesHit && hit
+		jobs = append(jobs, job{part: part, pc: pc})
 		keyParts = append(keyParts, part)
 		return nil
 	}
 	for _, t := range req.LTLs {
 		if err := add(t, ""); err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 	}
 	for _, t := range req.Omegas {
 		if err := add("", t); err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 	}
 	rkey := hashKey(keyParts...)
+	ri := reqFrom(r.Context())
+	if ri != nil {
+		ri.hash = rkey
+	}
 	if !req.NoCache {
 		if cached, ok := s.reports.Get(rkey); ok {
 			obs.Count(s.tr, "serve.cache.report_hits", 1)
+			s.noteCachePath(ri, cachePathReportHit, true)
 			writeCached(w, cached, true)
 			return
 		}
 	}
+	// A portfolio's cache path reflects its weakest link: pipeline-hit
+	// only when every property's artifact set was already cached.
+	s.noteCachePath(ri, pipePath(allPipesHit), false)
 	release, status, aerr := s.admit(r.Context())
 	if aerr != nil || status != 0 {
-		s.writeAdmissionFailure(w, status, aerr)
+		s.writeAdmissionFailure(w, r, status, aerr)
 		return
 	}
 	s.inflight.Add(1)
@@ -242,10 +296,11 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.checkContext(r, req.TimeoutMS)
 	defer cancel()
-	sp := obs.StartSpan(s.tr, "serve.portfolio").Int("properties", int64(len(jobs)))
+	rec := s.recorder(r.Context())
+	sp := obs.StartSpan(rec, "serve.portfolio").Int("properties", int64(len(jobs)))
 	resp := &PortfolioResponse{Reports: make([]*core.Report, len(jobs))}
 	for i, j := range jobs {
-		rep, err := core.CheckAllCellsCtx(ctx, s.tr, j.pc, s.cfg.Parallelism)
+		rep, err := core.CheckAllCellsCtx(ctx, rec, j.pc, s.cfg.Parallelism)
 		if err != nil {
 			sp.Tag("outcome", s.outcome(err))
 			sp.End()
@@ -256,7 +311,7 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	}
 	sp.Tag("outcome", "ok")
 	sp.End()
-	s.finish(w, rkey, resp, req.NoCache)
+	s.finish(w, r, rkey, resp, req.NoCache)
 }
 
 // handleAbstraction runs the paper's abstraction method (Sections 6–8).
@@ -267,40 +322,48 @@ func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
 	obs.Count(s.tr, "serve.requests", 1)
 	body, err := readBody(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	req, err := DecodeAbstractionRequest(body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	sysKey, sc, err := s.resolveSystem(req.System)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	h, err := hom.Parse(sc.System().Alphabet(), req.Hom)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	eta, err := ltl.Parse(req.Eta)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	rkey := hashKey("abstraction", sysKey, req.Hom, eta.String())
+	ri := reqFrom(r.Context())
+	if ri != nil {
+		ri.hash = rkey
+	}
 	if !req.NoCache {
 		if cached, ok := s.reports.Get(rkey); ok {
 			obs.Count(s.tr, "serve.cache.report_hits", 1)
+			s.noteCachePath(ri, cachePathReportHit, true)
 			writeCached(w, cached, true)
 			return
 		}
 	}
+	// The abstraction route has no pipeline-cell cache; anything past
+	// the report cache is a cold run.
+	s.noteCachePath(ri, cachePathMiss, false)
 	release, status, aerr := s.admit(r.Context())
 	if aerr != nil || status != 0 {
-		s.writeAdmissionFailure(w, status, aerr)
+		s.writeAdmissionFailure(w, r, status, aerr)
 		return
 	}
 	s.inflight.Add(1)
@@ -313,12 +376,13 @@ func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
 		s.writeCheckError(w, r, err)
 		return
 	}
-	sp := obs.StartSpan(s.tr, "serve.abstraction")
-	rep, err := core.VerifyViaAbstractionRec(s.tr, sc.System(), h, eta)
+	rec := s.recorder(r.Context())
+	sp := obs.StartSpan(rec, "serve.abstraction")
+	rep, err := core.VerifyViaAbstractionRec(rec, sc.System(), h, eta)
 	if err != nil {
 		sp.Tag("outcome", "error")
 		sp.End()
-		s.writeError(w, http.StatusInternalServerError, "internal", err)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	sp.Tag("outcome", "ok")
@@ -335,14 +399,20 @@ func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
 	if rep.Transformed != nil {
 		resp.Transformed = rep.Transformed.String()
 	}
-	s.finish(w, rkey, resp, req.NoCache)
+	s.finish(w, r, rkey, resp, req.NoCache)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	build := Build()
 	resp := HealthResponse{
-		Status:   "ok",
-		Inflight: len(s.slots),
-		Admitted: s.admitted.Load(),
+		Status:        "ok",
+		Inflight:      len(s.slots),
+		Admitted:      s.admitted.Load(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Version:       build.Version,
+		GoVersion:     build.GoVersion,
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -356,10 +426,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // finish marshals the check result, fills the report cache, and writes
 // the response as a cache miss.
-func (s *Server) finish(w http.ResponseWriter, rkey string, out any, noCache bool) {
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, rkey string, out any, noCache bool) {
 	body, err := json.Marshal(out)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "internal", err)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	body = append(body, '\n')
@@ -367,6 +437,9 @@ func (s *Server) finish(w http.ResponseWriter, rkey string, out any, noCache boo
 		s.reports.Add(rkey, body)
 	}
 	obs.Count(s.tr, "serve.completed", 1)
+	if ri := reqFrom(r.Context()); ri != nil {
+		ri.verdict = "ok"
+	}
 	writeCached(w, body, false)
 }
 
@@ -387,36 +460,52 @@ func (s *Server) writeCheckError(w http.ResponseWriter, r *http.Request, err err
 	switch {
 	case isContextError(err) && r.Context().Err() != nil:
 		obs.Count(s.tr, "serve.cancelled", 1)
-		s.writeError(w, statusClientClosed, "cancelled", err)
+		s.writeError(w, r, statusClientClosed, "cancelled", err)
 	case isContextError(err):
 		obs.Count(s.tr, "serve.timeout", 1)
-		s.writeError(w, http.StatusGatewayTimeout, "timeout", err)
+		s.writeError(w, r, http.StatusGatewayTimeout, "timeout", err)
 	default:
 		obs.Count(s.tr, "serve.errors", 1)
-		s.writeError(w, http.StatusInternalServerError, "internal", err)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", err)
 	}
 }
 
 // writeAdmissionFailure responds to a request that never got a worker
 // slot: queue overflow (429 + Retry-After), draining (503), or the
 // caller abandoning the queue (499).
-func (s *Server) writeAdmissionFailure(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeAdmissionFailure(w http.ResponseWriter, r *http.Request, status int, err error) {
 	switch {
 	case err != nil:
 		obs.Count(s.tr, "serve.cancelled", 1)
-		s.writeError(w, statusClientClosed, "cancelled", err)
+		s.writeError(w, r, statusClientClosed, "cancelled", err)
 	case status == http.StatusTooManyRequests:
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, status, "overloaded", fmt.Errorf("queue full: %d checks admitted", s.capacity))
+		s.writeError(w, r, status, "overloaded", fmt.Errorf("queue full: %d checks admitted", s.capacity))
 	default:
-		s.writeError(w, status, "draining", fmt.Errorf("server is draining"))
+		s.writeError(w, r, status, "draining", fmt.Errorf("server is draining"))
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, kind string, err error) {
+	if ri := reqFrom(r.Context()); ri != nil && ri.verdict == "" {
+		ri.verdict = verdictOfKind(kind)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Kind: kind})
+}
+
+// verdictOfKind maps a wire error kind to the flight recorder's verdict
+// vocabulary (ok | cancelled | timeout | error | shed | draining |
+// bad_request).
+func verdictOfKind(kind string) string {
+	switch kind {
+	case "internal":
+		return "error"
+	case "overloaded":
+		return "shed"
+	}
+	return kind
 }
 
 func writeCached(w http.ResponseWriter, body []byte, hit bool) {

@@ -4,10 +4,53 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
+	"relive/internal/core"
+	"relive/internal/obs"
 	"relive/internal/serve/cache"
 )
+
+// serverMetrics is the server's latency-histogram set: per-endpoint
+// request latency, per-phase pipeline durations, queue wait, and
+// request latency split by cache path. The maps are built once at New
+// and only read afterwards, so observation is lock-free (the histograms
+// themselves are atomic); unknown labels hit a nil histogram, whose
+// Observe is a no-op.
+type serverMetrics struct {
+	endpoint  map[string]*obs.Histogram // full request latency, ns
+	phase     map[string]*obs.Histogram // pipeline phase duration, ns
+	cachePath map[string]*obs.Histogram // request latency by cache path, ns
+	queueWait *obs.Histogram            // admission queue wait, ns
+}
+
+// endpointLabels lists every routed endpoint; keep in sync with routes.
+var endpointLabels = []string{
+	"all", "liveness", "safety", "satisfies", "portfolio", "abstraction",
+	"healthz", "metrics", "debug",
+}
+
+var cachePathLabels = []string{cachePathReportHit, cachePathPipelineHit, cachePathMiss}
+
+func newServerMetrics() *serverMetrics {
+	m := &serverMetrics{
+		endpoint:  make(map[string]*obs.Histogram, len(endpointLabels)),
+		phase:     make(map[string]*obs.Histogram, len(core.Phases)),
+		cachePath: make(map[string]*obs.Histogram, len(cachePathLabels)),
+		queueWait: &obs.Histogram{},
+	}
+	for _, e := range endpointLabels {
+		m.endpoint[e] = &obs.Histogram{}
+	}
+	for _, p := range core.Phases {
+		m.phase[p] = &obs.Histogram{}
+	}
+	for _, c := range cachePathLabels {
+		m.cachePath[c] = &obs.Histogram{}
+	}
+	return m
+}
 
 // handleMetrics renders the server's recorder state in the Prometheus
 // text exposition format: every obs counter (monotone) and gauge from
@@ -32,8 +75,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCacheStats(&b, "pipeline", s.pipelines.Stats())
 	writeCacheStats(&b, "report", s.reports.Stats())
 
+	writeHistogramFamily(&b, "relive_serve_request_seconds", "endpoint", s.metrics.endpoint)
+	writeHistogramFamily(&b, "relive_check_phase_seconds", "phase", s.metrics.phase)
+	writeHistogramFamily(&b, "relive_serve_cache_path_seconds", "path", s.metrics.cachePath)
+	fmt.Fprintf(&b, "# TYPE relive_serve_queue_wait_seconds histogram\n")
+	writeHistogramSeries(&b, "relive_serve_queue_wait_seconds", "", s.metrics.queueWait.Snapshot())
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
+}
+
+// histExportBoundsNS are the fixed bucket bounds published on /metrics:
+// 1µs · 4^i up to ~67s. The internal quarter-octave histograms are much
+// finer; CumulativeLE projects them onto this stable, small set so the
+// exposition stays a few lines per series and bounds never shift
+// between scrapes.
+var histExportBoundsNS = func() []int64 {
+	out := make([]int64, 0, 14)
+	for b := int64(1000); b < 100e9; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}()
+
+// writeHistogramFamily renders one labeled histogram family in bucket
+// cumulative form.
+func writeHistogramFamily(b *strings.Builder, name, labelKey string, series map[string]*obs.Histogram) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	for _, label := range sortedKeys(series) {
+		writeHistogramSeries(b, name, fmt.Sprintf("%s=%q", labelKey, label), series[label].Snapshot())
+	}
+}
+
+// writeHistogramSeries renders one histogram's _bucket/_sum/_count
+// lines; labels is a preformatted `key="value"` pair or "".
+func writeHistogramSeries(b *strings.Builder, name, labels string, s obs.HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, bound := range histExportBoundsNS {
+		le := strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, s.CumulativeLE(bound))
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, labels, float64(s.Sum)/1e9)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, s.Count)
 }
 
 // writeCacheStats renders one cache's counters with a "cache" label.

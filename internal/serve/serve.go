@@ -9,6 +9,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -46,16 +47,36 @@ type Config struct {
 	SystemEntries   int
 	PipelineEntries int
 	ReportEntries   int
-	// Trace receives every span, counter, and gauge and backs /metrics;
-	// nil means a fresh private Trace.
+	// Trace receives every counter and gauge and backs /metrics; nil
+	// means a fresh private Trace. Spans go to per-request traces (see
+	// FlightEntries), not here, so the process-wide recorder stays
+	// bounded under sustained traffic.
 	Trace *obs.Trace
+	// FlightEntries bounds the flight recorder's ring of completed
+	// checks behind /debug/checks; 0 means 256, < 0 disables request
+	// tracing and the flight recorder entirely (spans then go to Trace,
+	// and the hot path does no per-request allocation).
+	FlightEntries int
+	// FlightTraces bounds how many full span trees of slow checks are
+	// retained for /debug/checks/{traceID}; 0 means 64.
+	FlightTraces int
+	// SlowThreshold marks a check slow — its full span tree is retained
+	// by the flight recorder; 0 means 250ms.
+	SlowThreshold time.Duration
+	// Logger receives one JSON-lines (or text, per its handler) record
+	// per request; nil disables request logging.
+	Logger *slog.Logger
 }
 
 // Server is the checking service. Create with New, mount Handler, and
 // call Drain before exit. Safe for concurrent use.
 type Server struct {
-	cfg Config
-	tr  *obs.Trace
+	cfg     Config
+	tr      *obs.Trace
+	log     *slog.Logger
+	metrics *serverMetrics
+	flight  *flightRecorder // nil when FlightEntries < 0
+	started time.Time
 
 	slots    chan struct{} // worker-slot semaphore, capacity cfg.Workers
 	admitted atomic.Int64  // running + queued requests
@@ -93,6 +114,15 @@ func New(cfg Config) *Server {
 	if cfg.ReportEntries <= 0 {
 		cfg.ReportEntries = 4096
 	}
+	if cfg.FlightEntries == 0 {
+		cfg.FlightEntries = 256
+	}
+	if cfg.FlightTraces <= 0 {
+		cfg.FlightTraces = 64
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
 	tr := cfg.Trace
 	if tr == nil {
 		tr = obs.NewTrace()
@@ -100,11 +130,17 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		tr:        tr,
+		log:       cfg.Logger,
+		metrics:   newServerMetrics(),
+		started:   time.Now(),
 		slots:     make(chan struct{}, cfg.Workers),
 		capacity:  int64(cfg.Workers + cfg.QueueDepth),
 		systems:   cache.New[*core.SystemCells](cfg.SystemEntries),
 		pipelines: cache.New[*core.PipelineCells](cfg.PipelineEntries),
 		reports:   cache.New[[]byte](cfg.ReportEntries),
+	}
+	if cfg.FlightEntries > 0 {
+		s.flight = newFlightRecorder(cfg.FlightEntries, cfg.FlightTraces, cfg.SlowThreshold)
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -118,6 +154,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Trace returns the recorder backing /metrics, for tests and embedding
 // processes.
 func (s *Server) Trace() *obs.Trace { return s.tr }
+
+// FlightRecords returns the flight recorder's completed checks, most
+// recent first (nil when the recorder is disabled) — the programmatic
+// view of GET /debug/checks.
+func (s *Server) FlightRecords() []CheckRecord { return s.flight.recent() }
+
+// FlightTrace returns the retained span tree for a slow check's trace
+// ID — the programmatic view of GET /debug/checks/{traceID}.
+func (s *Server) FlightTrace(traceID string) (obs.Dump, bool) { return s.flight.trace(traceID) }
 
 // Drain puts the server into draining mode — new check requests are
 // rejected with 503 and /healthz reports "draining" — and waits until
@@ -153,11 +198,15 @@ func (s *Server) admit(ctx context.Context) (func(), int, error) {
 		return nil, http.StatusTooManyRequests, nil
 	}
 	obs.Gauge(s.tr, "serve.queued", s.admitted.Load())
+	waitStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
 		s.admitted.Add(-1)
 		return nil, 0, ctx.Err()
+	}
+	if ri := reqFrom(ctx); ri != nil {
+		ri.queueWait = time.Since(waitStart)
 	}
 	obs.Gauge(s.tr, "serve.inflight", int64(len(s.slots)))
 	release := func() {
@@ -234,8 +283,9 @@ func resolveProperty(sc *core.SystemCells, ltlText, omegaText string) (string, c
 
 // pipelineFor returns the cached artifact set for (system, property),
 // creating one that shares the system's trimmed-behavior cells on a
-// miss.
-func (s *Server) pipelineFor(sysKey, propPart string, sc *core.SystemCells, p core.Property) *core.PipelineCells {
+// miss; hit reports whether the set was already cached (the flight
+// recorder's pipeline-hit/miss cache-path classification).
+func (s *Server) pipelineFor(sysKey, propPart string, sc *core.SystemCells, p core.Property) (*core.PipelineCells, bool) {
 	key := hashKey("pipe", sysKey, propPart)
 	pc, hit := s.pipelines.GetOrAdd(key, func() *core.PipelineCells {
 		return core.NewPipelineCellsSharing(sc, p)
@@ -243,7 +293,7 @@ func (s *Server) pipelineFor(sysKey, propPart string, sc *core.SystemCells, p co
 	if hit {
 		obs.Count(s.tr, "serve.cache.pipeline_hits", 1)
 	}
-	return pc
+	return pc, hit
 }
 
 // reportKey keys the full-report cache per endpoint.

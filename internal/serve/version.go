@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the module version stamped
+// by the Go toolchain (VCS tag or pseudo-version; "devel" for plain
+// source builds) and the Go release it was compiled with. It is
+// embedded in /healthz and printed by rlserve -version, so a deployed
+// server and its binary can always be matched.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// Build reads the binary's build information.
+func Build() BuildInfo {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	return BuildInfo{Version: version, GoVersion: runtime.Version()}
+}
