@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"relive"
+	"relive/internal/kernel"
 	"relive/internal/obs"
 )
 
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	traceJSON := fs.String("trace-json", "", "write the span/metric trace as JSON to this file (- for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	kernelFlag := fs.String("kernel", "auto", "decision-procedure kernel: auto, subset, or antichain")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +54,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fs.Usage()
 		return 2
 	}
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	kernel.SetDefault(kern)
 	stopProf, err := obs.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlcheck: %v\n", err)

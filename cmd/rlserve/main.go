@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"relive/internal/kernel"
 	"relive/internal/serve"
 )
 
@@ -62,9 +63,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	logLevel := fs.String("log-level", "off", "per-request logging to stderr: debug, info, warn, error, or off")
 	logJSON := fs.Bool("log-json", false, "log requests as JSON lines instead of text")
 	version := fs.Bool("version", false, "print build info as JSON and exit")
+	kernelFlag := fs.String("kernel", "auto", "decision-procedure kernel: auto, subset, or antichain")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	kern, err := kernel.Parse(*kernelFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
+		return 2
+	}
+	kernel.SetDefault(kern)
 	if *version {
 		enc := json.NewEncoder(stdout)
 		enc.Encode(serve.Build())

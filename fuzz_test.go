@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"relive"
+	"relive/internal/alphabet"
 	"relive/internal/core"
 	"relive/internal/genbase"
+	"relive/internal/nfa"
 	"relive/internal/oracle"
 	"relive/internal/serve"
 	"relive/internal/word"
@@ -402,4 +404,90 @@ func serveOnce(t *testing.T, handler http.Handler, path string, req any) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
 		t.Fatalf("status %d body is not JSON: %q", rec.Code, rec.Body.String())
 	}
+}
+
+// fuzzNFA decodes an NFA over ab from fuzzer bytes: the first byte
+// picks the state count, one byte the accepting mask, and each
+// remaining byte one transition (from, symbol, to), with symbol 0 as ε.
+// The decoding is total, so every input exercises the kernels.
+func fuzzNFA(ab *relive.Alphabet, data []byte) *nfa.NFA {
+	a := nfa.New(ab)
+	if len(data) == 0 {
+		return a
+	}
+	n := 1 + int(data[0])%8
+	a.AddStates(n)
+	if len(data) > 1 {
+		for i := 0; i < n; i++ {
+			if data[1]&(1<<(i%8)) != 0 {
+				a.SetAccepting(nfa.State(i), true)
+			}
+		}
+	}
+	numSyms := ab.Size()
+	if len(data) < 3 {
+		a.SetInitial(0)
+		return a
+	}
+	for _, b := range data[2:] {
+		from := nfa.State(int(b>>5) % n)
+		to := nfa.State(int(b>>2&7) % n)
+		sym := alphabet.Symbol(int(b) % (numSyms + 1)) // 0 = ε
+		a.AddTransition(from, sym, to)
+	}
+	a.SetInitial(0)
+	return a
+}
+
+// FuzzAntichainInclusion differ-checks the antichain inclusion and
+// universality kernels against the subset-construction references on
+// fuzzer-built NFA pairs: verdicts must match, counterexamples must
+// have the subset route's (minimal) length and be genuine members of
+// L(a) \ L(b).
+func FuzzAntichainInclusion(f *testing.F) {
+	f.Add([]byte{2, 1, 0x4a, 0x91}, []byte{3, 5, 0x22, 0x7f, 0x08})
+	f.Add([]byte{1, 1, 0x05}, []byte{1, 0})
+	f.Add([]byte{7, 0xaa, 1, 2, 3, 4, 5, 6, 7, 8}, []byte{7, 0x55, 9, 10, 11, 12, 13})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		if len(da) > 64 || len(db) > 64 {
+			return // keep the subset reference cheap
+		}
+		ab := relive.NewAlphabet("a", "b")
+		na := fuzzNFA(ab, da)
+		nb := fuzzNFA(ab, db)
+		okS, wS, err := nfa.IncludedCtx(nil, na, nb)
+		if err != nil {
+			t.Fatalf("subset inclusion: %v", err)
+		}
+		okA, wA, err := nfa.IncludedAntichainCtx(nil, na, nb)
+		if err != nil {
+			t.Fatalf("antichain inclusion: %v", err)
+		}
+		if okS != okA {
+			t.Fatalf("inclusion divergence: subset=%v antichain=%v\na=%v\nb=%v", okS, okA, na, nb)
+		}
+		if !okA {
+			if len(wA) != len(wS) {
+				t.Fatalf("counterexample length divergence: subset %d, antichain %d\na=%v\nb=%v",
+					len(wS), len(wA), na, nb)
+			}
+			if !na.Accepts(wA) || nb.Accepts(wA) {
+				t.Fatalf("antichain counterexample not in L(a)\\L(b): %v\na=%v\nb=%v", wA, na, nb)
+			}
+		}
+		uniS, _, err := nfa.UniversalSubsetCtx(nil, nb)
+		if err != nil {
+			t.Fatalf("subset universality: %v", err)
+		}
+		uniA, uw, err := nfa.UniversalAntichainCtx(nil, nb)
+		if err != nil {
+			t.Fatalf("antichain universality: %v", err)
+		}
+		if uniS != uniA {
+			t.Fatalf("universality divergence: subset=%v antichain=%v\nb=%v", uniS, uniA, nb)
+		}
+		if !uniA && nb.Accepts(uw) {
+			t.Fatalf("universality counterexample accepted: %v\nb=%v", uw, nb)
+		}
+	})
 }

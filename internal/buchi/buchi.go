@@ -606,7 +606,13 @@ func LimitOfAllAccepting(a *nfa.NFA) (*Buchi, error) {
 // limitOfPrefixClosedUnchecked is LimitOfPrefixClosed without the
 // (expensive) prefix-closure validation.
 func limitOfPrefixClosedUnchecked(a *nfa.NFA) *Buchi {
-	e := a.RemoveEpsilon().Trim()
+	// Trim copies, so an already ε-free automaton needs no RemoveEpsilon
+	// clone first.
+	e := a
+	if e.HasEpsilon() {
+		e = e.RemoveEpsilon()
+	}
+	e = e.Trim()
 	// Remove dead ends — states with no successors cannot lie on an
 	// infinite path — by an O(V+E) worklist on the compiled graph: track
 	// each state's count of edges into still-alive states, and when one

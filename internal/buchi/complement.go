@@ -89,74 +89,86 @@ func (b *Buchi) Complement() (*Buchi, error) {
 		ranks := queueRanks[qi]
 		from := index[k]
 		oset := make([]bool, n)
-		oEmpty := true
 		for i := 0; i < n; i++ {
 			if k.oset[i] == 1 {
 				oset[i] = true
-				oEmpty = false
 			}
 		}
 		for _, sym := range syms {
-			// Successor domain and per-state rank caps.
-			caps := make([]int, n)
-			for i := range caps {
-				caps[i] = -1
-			}
-			domain := []int{}
-			for q := 0; q < n; q++ {
-				if ranks[q] < 0 {
-					continue
-				}
-				for _, t := range b.trans[q][sym] {
-					if caps[t] < 0 {
-						caps[t] = ranks[q]
-						domain = append(domain, int(t))
-					} else if ranks[q] < caps[t] {
-						caps[t] = ranks[q]
-					}
-				}
-			}
-			sort.Ints(domain)
-			// Successors of the O-set (before rank filtering).
-			oSucc := make([]bool, n)
-			if !oEmpty {
-				for q := 0; q < n; q++ {
-					if !oset[q] {
-						continue
-					}
-					for _, t := range b.trans[q][sym] {
-						oSucc[t] = true
-					}
-				}
-			}
-			// Enumerate all legal successor rankings g' over the domain.
-			b.enumerateRankings(domain, caps, func(g []int) {
-				nextO := make([]bool, n)
-				if oEmpty {
-					for _, t := range domain {
-						if g[t]%2 == 0 {
-							nextO[t] = true
-						}
-					}
-				} else {
-					for _, t := range domain {
-						if oSucc[t] && g[t]%2 == 0 {
-							nextO[t] = true
-						}
-					}
-				}
-				full := make([]int, n)
-				for i := range full {
-					full[i] = -1
-				}
-				for _, t := range domain {
-					full[t] = g[t]
-				}
+			b.rankSuccessors(ranks, oset, sym, func(full []int, nextO []bool) {
 				out.AddTransition(from, sym, intern(full, nextO))
 			})
 		}
 	}
 	return out, nil
+}
+
+// rankSuccessors enumerates the legal successor configurations of the
+// level ranking `ranks` (-1 for ⊥) with breakpoint set `oset` on sym,
+// calling visit once per successor in a canonical order (sorted domain,
+// rankings in enumerateRankings order). The slices handed to visit are
+// reused between calls; visit must copy what it retains. Both the eager
+// Complement construction above and the lazy inclusion kernel
+// (rankinclusion.go) enumerate through this helper, so the transition
+// structure they see — and therefore the verdicts and witnesses
+// downstream — is identical.
+func (b *Buchi) rankSuccessors(ranks []int, oset []bool, sym alphabet.Symbol, visit func(full []int, nextO []bool)) {
+	n := b.NumStates()
+	oEmpty := true
+	for _, in := range oset {
+		if in {
+			oEmpty = false
+			break
+		}
+	}
+	// Successor domain and per-state rank caps (ranks never increase
+	// along transitions).
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = -1
+	}
+	domain := []int{}
+	for q := 0; q < n; q++ {
+		if ranks[q] < 0 {
+			continue
+		}
+		for _, t := range b.trans[q][sym] {
+			if caps[t] < 0 {
+				caps[t] = ranks[q]
+				domain = append(domain, int(t))
+			} else if ranks[q] < caps[t] {
+				caps[t] = ranks[q]
+			}
+		}
+	}
+	sort.Ints(domain)
+	// Successors of the O-set (before rank filtering).
+	oSucc := make([]bool, n)
+	if !oEmpty {
+		for q := 0; q < n; q++ {
+			if !oset[q] {
+				continue
+			}
+			for _, t := range b.trans[q][sym] {
+				oSucc[t] = true
+			}
+		}
+	}
+	full := make([]int, n)
+	nextO := make([]bool, n)
+	b.enumerateRankings(domain, caps, func(g []int) {
+		for i := 0; i < n; i++ {
+			full[i] = -1
+			nextO[i] = false
+		}
+		for _, t := range domain {
+			full[t] = g[t]
+			if g[t]%2 == 0 && (oEmpty || oSucc[t]) {
+				nextO[t] = true
+			}
+		}
+		visit(full, nextO)
+	})
 }
 
 // enumerateRankings calls visit for every assignment g of ranks to the

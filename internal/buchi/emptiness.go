@@ -201,7 +201,7 @@ func (e *explorer) search(ctx context.Context) ([]int32, error) {
 						break
 					}
 				}
-				if e.acceptingComponent(comp) {
+				if acceptingComponent(e.edges, e.acc, comp) {
 					return comp, nil
 				}
 			}
@@ -219,11 +219,12 @@ func (e *explorer) search(ctx context.Context) ([]int32, error) {
 }
 
 // acceptingComponent reports whether comp is nontrivial (carries a
-// cycle) and contains an accepting product state.
-func (e *explorer) acceptingComponent(comp []int32) bool {
+// cycle) and contains an accepting product state. Shared with the lazy
+// rank-based product of rankinclusion.go.
+func acceptingComponent(edges [][]pedge, acc []bool, comp []int32) bool {
 	hasAcc := false
 	for _, v := range comp {
-		if e.acc[v] {
+		if acc[v] {
 			hasAcc = true
 			break
 		}
@@ -235,7 +236,7 @@ func (e *explorer) acceptingComponent(comp []int32) bool {
 		return true
 	}
 	v := comp[0]
-	for _, edge := range e.edges[v] {
+	for _, edge := range edges[v] {
 		if edge.to == v {
 			return true
 		}
@@ -243,35 +244,36 @@ func (e *explorer) acceptingComponent(comp []int32) bool {
 	return false
 }
 
-// witness builds an accepting lasso from the found component: the DFS
-// parent chain of an accepting member is the prefix, a BFS inside the
-// (fully expanded, strongly connected) component yields the cycle.
-func (e *explorer) witness(comp []int32) word.Lasso {
+// lassoWitness builds an accepting lasso from a found component: the
+// DFS parent chain of an accepting member is the prefix, a BFS inside
+// the (fully expanded, strongly connected) component yields the cycle.
+// Shared with the lazy rank-based product of rankinclusion.go.
+func lassoWitness(edges [][]pedge, acc []bool, parent []int32, psym []alphabet.Symbol, comp []int32) word.Lasso {
 	target := comp[0]
 	for _, v := range comp {
-		if e.acc[v] {
+		if acc[v] {
 			target = v
 			break
 		}
 	}
 	var prefix word.Word
-	for v := target; e.parent[v] != -1; v = e.parent[v] {
-		prefix = append(prefix, e.psym[v])
+	for v := target; parent[v] != -1; v = parent[v] {
+		prefix = append(prefix, psym[v])
 	}
 	for l, r := 0, len(prefix)-1; l < r; l, r = l+1, r-1 {
 		prefix[l], prefix[r] = prefix[r], prefix[l]
 	}
-	return word.MustLasso(prefix, e.cycleWord(target, comp))
+	return word.MustLasso(prefix, sccCycleWord(edges, target, comp))
 }
 
-// cycleWord returns the label word of a shortest nonempty cycle through
-// target inside its strongly connected component.
-func (e *explorer) cycleWord(target int32, comp []int32) word.Word {
+// sccCycleWord returns the label word of a shortest nonempty cycle
+// through target inside its strongly connected component.
+func sccCycleWord(edges [][]pedge, target int32, comp []int32) word.Word {
 	inComp := make(map[int32]bool, len(comp))
 	for _, v := range comp {
 		inComp[v] = true
 	}
-	for _, edge := range e.edges[target] {
+	for _, edge := range edges[target] {
 		if edge.to == target {
 			return word.Word{edge.sym}
 		}
@@ -283,7 +285,7 @@ func (e *explorer) cycleWord(target int32, comp []int32) word.Word {
 	}
 	var q []centry
 	seen := make(map[int32]bool, len(comp))
-	for _, edge := range e.edges[target] {
+	for _, edge := range edges[target] {
 		if inComp[edge.to] && !seen[edge.to] {
 			seen[edge.to] = true
 			q = append(q, centry{v: edge.to, parent: -1, sym: edge.sym})
@@ -291,7 +293,7 @@ func (e *explorer) cycleWord(target int32, comp []int32) word.Word {
 	}
 	for qi := 0; qi < len(q); qi++ {
 		cur := q[qi]
-		for _, edge := range e.edges[cur.v] {
+		for _, edge := range edges[cur.v] {
 			if edge.to == target {
 				w := word.Word{edge.sym}
 				for j := int32(qi); j != -1; j = q[j].parent {
@@ -336,7 +338,7 @@ func intersectLasso(ctx context.Context, a, c *Buchi, ainit, cinit []State) (wor
 	if comp == nil {
 		return word.Lasso{}, len(e.states), false, nil
 	}
-	return e.witness(comp), len(e.states), true, nil
+	return lassoWitness(e.edges, e.acc, e.parent, e.psym, comp), len(e.states), true, nil
 }
 
 // IntersectLasso returns an ultimately periodic word accepted by both a

@@ -19,8 +19,14 @@ import (
 // runs cross a seam infinitely often, decomposing the word as u·v₁·v₂⋯
 // with u ∈ U and vᵢ ∈ V.
 func OmegaConcat(prefix, loop *nfa.NFA) (*Buchi, error) {
-	u := prefix.RemoveEpsilon().Trim()
-	v := loop.RemoveEpsilon().Trim()
+	u, v := prefix, loop
+	if u.HasEpsilon() {
+		u = u.RemoveEpsilon()
+	}
+	if v.HasEpsilon() {
+		v = v.RemoveEpsilon()
+	}
+	u, v = u.Trim(), v.Trim()
 	if v.Accepts(nil) {
 		return nil, fmt.Errorf("buchi: loop language contains ε; V^ω is ill-defined")
 	}

@@ -1,0 +1,94 @@
+package buchi
+
+import (
+	"math/rand"
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/genbase"
+	"relive/internal/nfa"
+)
+
+// materializedPre is the chain PreProductNFACtx fuses, kept as the
+// differential reference: product, reduce-to-accepting-cycles, prefix
+// NFA, trim.
+func materializedPre(t *testing.T, a, c *Buchi) *nfa.NFA {
+	t.Helper()
+	p, err := IntersectCtx(nil, a, c)
+	if err != nil {
+		t.Fatalf("IntersectCtx: %v", err)
+	}
+	return p.PrefixNFA().Trim()
+}
+
+// sameNFA asserts got and want are byte-identical automata: same state
+// count, same accepting flags, same initial list, and the same
+// transition row for every (state, symbol) pair in order.
+func sameNFA(t *testing.T, trial int, got, want *nfa.NFA) {
+	t.Helper()
+	if got.NumStates() != want.NumStates() {
+		t.Fatalf("trial %d: state count %d, want %d\ngot:\n%v\nwant:\n%v",
+			trial, got.NumStates(), want.NumStates(), got, want)
+	}
+	gi, wi := got.Initial(), want.Initial()
+	if len(gi) != len(wi) {
+		t.Fatalf("trial %d: initial count %d, want %d", trial, len(gi), len(wi))
+	}
+	for i := range gi {
+		if gi[i] != wi[i] {
+			t.Fatalf("trial %d: initial[%d] = %d, want %d", trial, i, gi[i], wi[i])
+		}
+	}
+	syms := append([]alphabet.Symbol{alphabet.Epsilon}, got.Alphabet().Symbols()...)
+	for s := 0; s < got.NumStates(); s++ {
+		if got.Accepting(nfa.State(s)) != want.Accepting(nfa.State(s)) {
+			t.Fatalf("trial %d: accepting(%d) diverges", trial, s)
+		}
+		for _, sym := range syms {
+			gr := got.Succ(nfa.State(s), sym)
+			wr := want.Succ(nfa.State(s), sym)
+			if len(gr) != len(wr) {
+				t.Fatalf("trial %d: row (%d, %v): %v, want %v", trial, s, sym, gr, wr)
+			}
+			for i := range gr {
+				if gr[i] != wr[i] {
+					t.Fatalf("trial %d: row (%d, %v): %v, want %v", trial, s, sym, gr, wr)
+				}
+			}
+		}
+	}
+}
+
+func TestPreProductMatchesMaterializedChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ab := genbase.Letters(2)
+	for trial := 0; trial < 200; trial++ {
+		a := randomBuchi(rng, ab, 1+rng.Intn(4))
+		c := randomBuchi(rng, ab, 1+rng.Intn(4))
+		if trial%2 == 0 {
+			// The pipeline's left operand is a lim(L) automaton, which is
+			// all-accepting; exercise that (plain-product) shape directly.
+			for i := 0; i < a.NumStates(); i++ {
+				a.SetAccepting(State(i), true)
+			}
+		}
+		fused, _, err := PreProductNFACtx(nil, a, c)
+		if err != nil {
+			t.Fatalf("trial %d: PreProductNFACtx: %v", trial, err)
+		}
+		sameNFA(t, trial, fused, materializedPre(t, a, c))
+	}
+}
+
+func TestPreProductEmptyProduct(t *testing.T) {
+	ab := genbase.Letters(2)
+	a := New(ab) // no states: L_ω(a) = ∅
+	c := UniversalAutomaton(ab)
+	fused, explored, err := PreProductNFACtx(nil, a, c)
+	if err != nil {
+		t.Fatalf("PreProductNFACtx: %v", err)
+	}
+	if explored != 0 || fused.NumStates() != 0 {
+		t.Fatalf("empty product: explored %d states, output has %d", explored, fused.NumStates())
+	}
+}

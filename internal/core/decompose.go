@@ -81,21 +81,16 @@ func IsSafetyProperty(p Property, ab *alphabet.Alphabet) (bool, word.Lasso, erro
 
 // IsLivenessProperty reports whether p is a (classical) liveness
 // property over ab: every finite word extends to a word in P,
-// i.e. pre(P) = Σ*. The witness is a finite word with no extension in
-// P when the check fails. By Remark 1 this coincides with relative
-// liveness over the universal system.
+// i.e. pre(P) = Σ*, a universality check run on the configured kernel.
+// The witness is a finite word with no extension in P when the check
+// fails. By Remark 1 this coincides with relative liveness over the
+// universal system.
 func IsLivenessProperty(p Property, ab *alphabet.Alphabet) (bool, word.Word, error) {
 	pa, err := p.Automaton(ab)
 	if err != nil {
 		return false, nil, err
 	}
-	sigmaStar := nfa.New(ab)
-	s := sigmaStar.AddState(true)
-	for _, sym := range ab.Symbols() {
-		sigmaStar.AddTransition(s, sym, s)
-	}
-	sigmaStar.SetInitial(s)
-	ok, w := nfa.Included(sigmaStar, pa.PrefixNFA())
+	ok, w := nfa.Universal(pa.PrefixNFA())
 	if !ok {
 		return false, w, nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relive/internal/buchi"
+	"relive/internal/kernel"
 	"relive/internal/nfa"
 	"relive/internal/obs"
 	"relive/internal/ts"
@@ -33,11 +34,16 @@ func MachineClosedRec(rec obs.Recorder, lomega, lambda *buchi.Buchi) (MachineClo
 	ops := buchi.Ops{Rec: rec}
 	preL := ops.PrefixNFA(lomega)
 	preLambda := ops.PrefixNFA(lambda)
+	kern := kernel.Default()
 	isp := obs.StartSpan(rec, "pre(L_ω) ⊆ pre(Λ)").
+		Tag("kernel", nfa.ResolveKernel(kern, preLambda).String()).
 		Int("left_states", int64(preL.NumStates())).
 		Int("right_states", int64(preLambda.NumStates()))
-	ok, w := nfa.Included(preL, preLambda)
+	ok, w, err := nfa.IncludedKernelCtx(nil, kern, preL, preLambda)
 	isp.End()
+	if err != nil {
+		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
+	}
 	if ok {
 		return MachineClosureResult{Holds: true}, nil
 	}
@@ -64,7 +70,10 @@ func RelativeLivenessViaMachineClosure(sys *ts.System, p Property) (MachineClosu
 		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
 	}
 	preL := behaviors.PrefixNFA()
-	ok, w := nfa.Included(preL, preLambda)
+	ok, w, err := nfa.IncludedKernelCtx(nil, pl.kern, preL, preLambda)
+	if err != nil {
+		return MachineClosureResult{}, fmt.Errorf("machine closure: %w", err)
+	}
 	if ok {
 		return MachineClosureResult{Holds: true}, nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relive/internal/buchi"
+	"relive/internal/kernel"
 	"relive/internal/nfa"
 	"relive/internal/word"
 )
@@ -24,9 +25,16 @@ func RelativeLivenessOmega(lomega *buchi.Buchi, p Property) (LivenessResult, err
 	if err != nil {
 		return LivenessResult{}, fmt.Errorf("relative liveness (ω): %w", err)
 	}
+	kern := kernel.Default()
 	preL := lomega.PrefixNFA()
-	preLP := buchi.Intersect(lomega, pa).PrefixNFA()
-	ok, w := nfa.Included(preL, preLP)
+	preLP, _, err := preProductKernel(nil, kern, buchi.Ops{}, lomega, pa)
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness (ω): %w", err)
+	}
+	ok, w, err := nfa.IncludedKernelCtx(nil, kern, preL, preLP)
+	if err != nil {
+		return LivenessResult{}, fmt.Errorf("relative liveness (ω): %w", err)
+	}
 	if ok {
 		return LivenessResult{Holds: true}, nil
 	}
@@ -42,7 +50,10 @@ func RelativeSafetyOmega(lomega *buchi.Buchi, p Property) (SafetyResult, error) 
 	if err != nil {
 		return SafetyResult{}, fmt.Errorf("relative safety (ω): %w", err)
 	}
-	preLP := buchi.Intersect(lomega, pa).PrefixNFA().Trim()
+	preLP, _, err := preProductKernel(nil, kernel.Default(), buchi.Ops{}, lomega, pa)
+	if err != nil {
+		return SafetyResult{}, fmt.Errorf("relative safety (ω): %w", err)
+	}
 	if preLP.NumStates() == 0 {
 		return SafetyResult{Holds: true}, nil
 	}
@@ -88,7 +99,7 @@ func IsLimitClosed(lomega *buchi.Buchi) (bool, word.Lasso, error) {
 		return false, word.Lasso{}, err
 	}
 	// L_ω ⊆ lim(pre(L_ω)) always; check the converse.
-	ok, l, err := buchi.Included(limPre, lomega)
+	ok, l, err := buchi.IncludedKernelCtx(nil, kernel.Default(), limPre, lomega)
 	if err != nil {
 		return false, word.Lasso{}, fmt.Errorf("limit closure: %w", err)
 	}

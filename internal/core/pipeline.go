@@ -5,6 +5,7 @@ import (
 
 	"relive/internal/alphabet"
 	"relive/internal/buchi"
+	"relive/internal/kernel"
 	"relive/internal/nfa"
 	"relive/internal/obs"
 	"relive/internal/ts"
@@ -89,12 +90,13 @@ type shared struct {
 // exactly once per check, even when the three verdicts run
 // concurrently. A nil ctx never cancels (the plain serial path).
 type pipeline struct {
-	ctx context.Context
-	rec obs.Recorder
-	sys *ts.System
-	p   Property
-	ops buchi.Ops
-	sh  *shared
+	ctx  context.Context
+	rec  obs.Recorder
+	sys  *ts.System
+	p    Property
+	ops  buchi.Ops
+	kern kernel.Kind
+	sh   *shared
 }
 
 func newPipeline(rec obs.Recorder, sys *ts.System, p Property) *pipeline {
@@ -107,7 +109,8 @@ func newPipelineCtx(ctx context.Context, rec obs.Recorder, sys *ts.System, p Pro
 		lim:  newLimitsCell(sys),
 		prop: &propCell{p: p, ab: sys.Alphabet()},
 	}
-	return &pipeline{ctx: ctx, rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx}, sh: sh}
+	return &pipeline{ctx: ctx, rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx},
+		kern: kernel.FromContext(ctx), sh: sh}
 }
 
 // newPipelineSharing builds a pipeline over pre-existing cells. Portfolio
@@ -122,20 +125,22 @@ func newPipelineSharing(ctx context.Context, rec obs.Recorder, sys *ts.System, p
 		prop = &propCell{p: p, ab: sys.Alphabet()}
 	}
 	return &pipeline{ctx: ctx, rec: rec, sys: sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx},
-		sh: &shared{sys: sys, lim: lim, prop: prop}}
+		kern: kernel.FromContext(ctx), sh: &shared{sys: sys, lim: lim, prop: prop}}
 }
 
 // view returns a pipeline over the same shared cells whose spans are
 // reported to rec instead. CheckAll's parallel mode gives each verdict
 // goroutine its own per-worker view.
 func (pl *pipeline) view(rec obs.Recorder) *pipeline {
-	return &pipeline{ctx: pl.ctx, rec: rec, sys: pl.sys, p: pl.p, ops: buchi.Ops{Rec: rec, Ctx: pl.ctx}, sh: pl.sh}
+	return &pipeline{ctx: pl.ctx, rec: rec, sys: pl.sys, p: pl.p, ops: buchi.Ops{Rec: rec, Ctx: pl.ctx},
+		kern: pl.kern, sh: pl.sh}
 }
 
 // viewCells returns a pipeline over an externally cached shared-cell
 // set (see PipelineCells), attributing spans to rec and polling ctx.
 func viewCells(ctx context.Context, rec obs.Recorder, sh *shared, p Property) *pipeline {
-	return &pipeline{ctx: ctx, rec: rec, sys: sh.sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx}, sh: sh}
+	return &pipeline{ctx: ctx, rec: rec, sys: sh.sys, p: p, ops: buchi.Ops{Rec: rec, Ctx: ctx},
+		kern: kernel.FromContext(ctx), sh: sh}
 }
 
 // limits returns the trimmed system and its behavior automaton lim(L).
@@ -172,16 +177,44 @@ func (pl *pipeline) preProduct() (*nfa.NFA, error) {
 		}
 		psp := obs.StartSpan(pl.rec, "pre(L∩P)").
 			Int("behavior_states", int64(behaviors.NumStates())).
-			Int("property_states", int64(pa.NumStates()))
-		prod, err := pl.ops.IntersectCtx(behaviors, pa)
+			Int("property_states", int64(pa.NumStates())).
+			Tag("kernel", preProductKernelName(pl.kern))
+		preLP, explored, err := preProductKernel(pl.ctx, pl.kern, pl.ops, behaviors, pa)
 		if err != nil {
 			psp.Tag("aborted", "context")
 			psp.End()
 			return nil, err
 		}
-		preLP := pl.ops.PrefixNFA(prod).Trim()
+		psp.Int("product_states", int64(explored))
 		psp.Int("out_states", int64(preLP.NumStates()))
 		psp.End()
 		return preLP, nil
 	})
+}
+
+// preProductKernel computes pre(L_ω(a) ∩ L_ω(c)) dispatched over the
+// kernel choice: the fused single-pass construction
+// (buchi.PreProductNFACtx) by default, or the classic materialized
+// Intersect → PrefixNFA → Trim chain when k forces the subset kernels.
+// The two routes produce bit-identical automata (see
+// buchi/preproduct.go); the fused one skips the intermediate Büchi
+// automata. The int result is the product state count, for spans.
+func preProductKernel(ctx context.Context, k kernel.Kind, ops buchi.Ops, a, c *buchi.Buchi) (*nfa.NFA, int, error) {
+	if k == kernel.Subset {
+		prod, err := ops.IntersectCtx(a, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ops.PrefixNFA(prod).Trim(), prod.NumStates(), nil
+	}
+	return buchi.PreProductNFACtx(ctx, a, c)
+}
+
+// preProductKernelName is the span/metrics label for the pre(L∩P)
+// route preProductKernel picks for k.
+func preProductKernelName(k kernel.Kind) string {
+	if k == kernel.Subset {
+		return "materialized"
+	}
+	return "fused"
 }

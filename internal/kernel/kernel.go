@@ -1,0 +1,100 @@
+// Package kernel selects which decision-procedure kernel the inclusion
+// and universality checks run on: the classic eagerly-materialized
+// routes (on-the-fly subset construction for NFA inclusion, full
+// rank-based complementation for Büchi inclusion) or the antichain/lazy
+// routes introduced alongside them (simulation-pruned antichain subset
+// exploration, lazy rank-based complement search, fused pre(L∩P)
+// construction).
+//
+// The choice is deliberately out-of-band: the decision procedures have
+// many entry points and the kernel never changes verdicts, only how
+// they are computed. A process-wide default (settable once by a CLI
+// flag such as rlcheck/rlbench/rlserve -kernel) is combined with an
+// optional per-check override carried on the context, which is how
+// relive.WithKernel scopes a choice to one Checker without touching the
+// global.
+package kernel
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind identifies a kernel choice.
+type Kind uint8
+
+const (
+	// Auto picks per call site: antichain/lazy kernels when the input is
+	// large enough for the pruning to pay for its bookkeeping, the
+	// classic kernels below that threshold. This is the default.
+	Auto Kind = iota
+	// Subset forces the classic kernels everywhere: on-the-fly subset
+	// construction for NFA inclusion/universality, eager rank-based
+	// complementation for Büchi inclusion, and the materialized
+	// Intersect→PrefixNFA→Trim chain for pre(L∩P). This is the escape
+	// hatch for bisecting a suspected antichain-kernel fault.
+	Subset
+	// Antichain forces the antichain/lazy kernels everywhere, regardless
+	// of input size.
+	Antichain
+)
+
+// String returns the flag spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Subset:
+		return "subset"
+	case Antichain:
+		return "antichain"
+	default:
+		return "auto"
+	}
+}
+
+// Parse reads a -kernel flag value.
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "auto", "":
+		return Auto, nil
+	case "subset":
+		return Subset, nil
+	case "antichain":
+		return Antichain, nil
+	}
+	return Auto, fmt.Errorf("kernel: unknown kernel %q (want auto, subset, or antichain)", s)
+}
+
+// defaultKind is the process-wide default, read on every check that has
+// no context override. Atomic so a server can set it at boot while
+// tests exercise checkers concurrently.
+var defaultKind atomic.Uint32
+
+// SetDefault sets the process-wide default kernel. Intended for CLI
+// flag handling at startup; per-check overrides should use NewContext.
+func SetDefault(k Kind) { defaultKind.Store(uint32(k)) }
+
+// Default returns the process-wide default kernel.
+func Default() Kind { return Kind(defaultKind.Load()) }
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying k as the kernel override for
+// every check run under it. A nil ctx starts from context.Background.
+func NewContext(ctx context.Context, k Kind) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, k)
+}
+
+// FromContext returns the kernel override carried by ctx, falling back
+// to the process-wide default. A nil ctx has no override.
+func FromContext(ctx context.Context) Kind {
+	if ctx != nil {
+		if k, ok := ctx.Value(ctxKey{}).(Kind); ok {
+			return k
+		}
+	}
+	return Default()
+}

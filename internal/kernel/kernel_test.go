@@ -1,0 +1,45 @@
+package kernel
+
+import (
+	"context"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Auto, Subset, Antichain} {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("Parse(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if k, err := Parse(""); err != nil || k != Auto {
+		t.Fatalf("Parse(\"\") = %v, %v; want Auto, nil", k, err)
+	}
+	if _, err := Parse("frobnicate"); err == nil {
+		t.Fatal("Parse of unknown kernel did not error")
+	}
+}
+
+func TestDefaultAndContextOverride(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+
+	SetDefault(Subset)
+	if got := FromContext(nil); got != Subset {
+		t.Fatalf("FromContext(nil) = %v, want process default Subset", got)
+	}
+	if got := FromContext(context.Background()); got != Subset {
+		t.Fatalf("FromContext(Background) = %v, want Subset", got)
+	}
+	ctx := NewContext(context.Background(), Antichain)
+	if got := FromContext(ctx); got != Antichain {
+		t.Fatalf("FromContext(override) = %v, want Antichain", got)
+	}
+	// NewContext tolerates a nil base, for the no-cancellation paths.
+	if got := FromContext(NewContext(nil, Antichain)); got != Antichain {
+		t.Fatalf("FromContext(NewContext(nil)) = %v, want Antichain", got)
+	}
+}

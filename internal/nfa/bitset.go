@@ -13,7 +13,14 @@ import "math/bits"
 type stateBits []uint64
 
 func newStateBits(numStates int) stateBits {
-	return make(stateBits, (numStates+63)/64)
+	words := (numStates + 63) / 64
+	if words == 0 {
+		// Keep one word even for a state-free automaton so set widths
+		// always match setInterner's (which pads the same way) and the
+		// degenerate L = ∅ case runs the ordinary code path.
+		words = 1
+	}
+	return make(stateBits, words)
 }
 
 func (b stateBits) set(i int32)      { b[i>>6] |= 1 << (uint32(i) & 63) }
@@ -42,6 +49,23 @@ func (b stateBits) intersects(o stateBits) bool {
 		}
 	}
 	return false
+}
+
+// or adds every member of o to b. Both must have the same width.
+func (b stateBits) or(o stateBits) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+// subsetOf reports whether every member of b is in o.
+func (b stateBits) subsetOf(o stateBits) bool {
+	for i, w := range b {
+		if w&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (b stateBits) equal(o stateBits) bool {

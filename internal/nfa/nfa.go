@@ -312,7 +312,7 @@ func (a *NFA) IsEmpty() bool {
 // ShortestAccepted returns a shortest accepted word, or ok=false when the
 // language is empty. ε-transitions contribute no letters.
 func (a *NFA) ShortestAccepted() (word.Word, bool) {
-	e := a.RemoveEpsilon()
+	e := a.epsFree()
 	n := e.NumStates()
 	type entry struct {
 		state  State
@@ -388,6 +388,20 @@ func (a *NFA) RemoveEpsilon() *NFA {
 	return out
 }
 
+// epsFree returns the receiver itself when it has no ε-transitions and
+// RemoveEpsilon's output otherwise. Unlike RemoveEpsilon, which always
+// deep-copies so callers may mutate the result, epsFree is for the
+// read-only operation paths (products, inclusion, universality): on
+// already ε-free automata they skip the copy entirely, and the CSR
+// compile they trigger lands in the original automaton's cache where
+// later checks reuse it.
+func (a *NFA) epsFree() *NFA {
+	if !a.HasEpsilon() {
+		return a
+	}
+	return a.RemoveEpsilon()
+}
+
 // MarkAllAccepting returns a copy with every state accepting. Combined
 // with Trim this computes pre(L): the language of all prefixes of words
 // in L.
@@ -402,7 +416,8 @@ func (a *NFA) MarkAllAccepting() *NFA {
 // PrefixLanguage returns an automaton for pre(L(a)), the set of all
 // prefixes of accepted words.
 func (a *NFA) PrefixLanguage() *NFA {
-	return a.RemoveEpsilon().Trim().MarkAllAccepting()
+	// Trim copies, so the ε-free view can be shared with the receiver.
+	return a.epsFree().Trim().MarkAllAccepting()
 }
 
 // String renders the automaton for debugging.

@@ -10,10 +10,10 @@ import (
 
 // Intersect returns an NFA for L(a) ∩ L(b) via the product construction.
 // Both automata must be over the same alphabet; ε-transitions are removed
-// first.
+// first (already ε-free operands are used as-is, without a copy).
 func Intersect(a, b *NFA) *NFA {
-	ae := a.RemoveEpsilon()
-	be := b.RemoveEpsilon()
+	ae := a.epsFree()
+	be := b.epsFree()
 	out := New(a.ab)
 	type pair struct{ x, y State }
 	index := map[pair]State{}
@@ -86,8 +86,8 @@ func Included(a, b *NFA) (bool, word.Word) {
 // case exponential in b, so a context deadline must be able to stop it.
 // A nil ctx never cancels.
 func IncludedCtx(ctx context.Context, a, b *NFA) (bool, word.Word, error) {
-	ae := a.RemoveEpsilon()
-	be := b.RemoveEpsilon()
+	ae := a.epsFree()
+	be := b.epsFree()
 	ca, cb := ae.Compiled(), be.Compiled()
 	nb := be.NumStates()
 	syms := ae.ab.Symbols()

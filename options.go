@@ -1,10 +1,12 @@
 package relive
 
 import (
+	"context"
 	"io"
 	"runtime"
 
 	"relive/internal/core"
+	"relive/internal/kernel"
 	"relive/internal/obs"
 )
 
@@ -33,12 +35,30 @@ func NewTrace() *Trace { return obs.NewTrace() }
 // ReadTraceJSON parses a dump written by (*Trace).WriteJSON.
 func ReadTraceJSON(r io.Reader) (TraceDump, error) { return obs.ReadJSON(r) }
 
+// KernelKind selects which decision-procedure kernel the inclusion and
+// universality checks inside a Checker run on; see WithKernel.
+type KernelKind = kernel.Kind
+
+// The kernel choices. KernelAuto picks per call site by input size and
+// is the default; KernelSubset forces the classic eagerly-materialized
+// routes; KernelAntichain forces the antichain/lazy routes. Verdicts
+// and witnesses are identical across kernels — only the work to reach
+// them differs.
+const (
+	KernelAuto      = kernel.Auto
+	KernelSubset    = kernel.Subset
+	KernelAntichain = kernel.Antichain
+)
+
 // Checker runs the decision procedures with options attached — a
-// Recorder and a parallelism degree; the zero value (or With() with no
-// options) behaves exactly like the package-level functions.
+// Recorder, a parallelism degree, and a kernel choice; the zero value
+// (or With() with no options) behaves exactly like the package-level
+// functions.
 type Checker struct {
-	rec Recorder
-	par int
+	rec     Recorder
+	par     int
+	kern    kernel.Kind
+	kernSet bool
 }
 
 // Option configures a Checker.
@@ -67,6 +87,20 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithKernel scopes a kernel choice to the returned Checker: every
+// inclusion, universality, and pre(L∩P) construction run through it
+// uses the chosen kernel, overriding the process-wide default set by
+// the CLIs' -kernel flag. KernelSubset is the escape hatch for
+// bisecting a suspected antichain-kernel fault; verdicts and witnesses
+// are identical either way (the antichain kernels are differ-checked
+// against the subset routes, see docs/PERFORMANCE.md).
+func WithKernel(k KernelKind) Option {
+	return func(c *Checker) {
+		c.kern = k
+		c.kernSet = true
+	}
+}
+
 // With returns a Checker carrying the given options. Existing
 // package-level entry points are unchanged; this is the additive way to
 // attach observability:
@@ -88,36 +122,57 @@ func (c *Checker) Recorder() Recorder { return c.rec }
 // Parallelism returns the configured parallelism degree (0 = serial).
 func (c *Checker) Parallelism() int { return c.par }
 
+// kernelCtx returns ctx carrying the Checker's kernel override, or ctx
+// unchanged when no WithKernel option was given (so checks fall back to
+// the process-wide default). A nil ctx with an override becomes a
+// background context; without one it stays nil (the uncancellable
+// serial path).
+func (c *Checker) kernelCtx(ctx context.Context) context.Context {
+	if !c.kernSet {
+		return ctx
+	}
+	return kernel.NewContext(ctx, c.kern)
+}
+
 // CheckRelativeLiveness is the package-level CheckRelativeLiveness with
 // the Checker's options applied.
 func (c *Checker) CheckRelativeLiveness(sys *System, f *Formula) (LivenessResult, error) {
-	return core.RelativeLivenessRec(c.rec, sys, core.FromFormula(f, nil))
+	return c.CheckRelativeLivenessProperty(sys, core.FromFormula(f, nil))
 }
 
 // CheckRelativeLivenessProperty is CheckRelativeLiveness for a Property.
 func (c *Checker) CheckRelativeLivenessProperty(sys *System, p Property) (LivenessResult, error) {
+	if c.kernSet {
+		return core.RelativeLivenessCtx(c.kernelCtx(nil), c.rec, sys, p)
+	}
 	return core.RelativeLivenessRec(c.rec, sys, p)
 }
 
 // CheckRelativeSafety is the package-level CheckRelativeSafety with the
 // Checker's options applied.
 func (c *Checker) CheckRelativeSafety(sys *System, f *Formula) (SafetyResult, error) {
-	return core.RelativeSafetyRec(c.rec, sys, core.FromFormula(f, nil))
+	return c.CheckRelativeSafetyProperty(sys, core.FromFormula(f, nil))
 }
 
 // CheckRelativeSafetyProperty is CheckRelativeSafety for a Property.
 func (c *Checker) CheckRelativeSafetyProperty(sys *System, p Property) (SafetyResult, error) {
+	if c.kernSet {
+		return core.RelativeSafetyCtx(c.kernelCtx(nil), c.rec, sys, p)
+	}
 	return core.RelativeSafetyRec(c.rec, sys, p)
 }
 
 // CheckSatisfies is the package-level CheckSatisfies with the Checker's
 // options applied.
 func (c *Checker) CheckSatisfies(sys *System, f *Formula) (SatisfactionResult, error) {
-	return core.SatisfiesRec(c.rec, sys, core.FromFormula(f, nil))
+	return c.CheckSatisfiesProperty(sys, core.FromFormula(f, nil))
 }
 
 // CheckSatisfiesProperty is CheckSatisfies for a Property.
 func (c *Checker) CheckSatisfiesProperty(sys *System, p Property) (SatisfactionResult, error) {
+	if c.kernSet {
+		return core.SatisfiesCtx(c.kernelCtx(nil), c.rec, sys, p)
+	}
 	return core.SatisfiesRec(c.rec, sys, p)
 }
 
@@ -125,11 +180,14 @@ func (c *Checker) CheckSatisfiesProperty(sys *System, p Property) (SatisfactionR
 // applied. Under WithParallelism the three verdicts run concurrently;
 // the report is identical to the serial one.
 func (c *Checker) CheckAll(sys *System, f *Formula) (*Report, error) {
-	return core.CheckAllParRec(c.rec, sys, core.FromFormula(f, nil), c.par)
+	return c.CheckAllProperty(sys, core.FromFormula(f, nil))
 }
 
 // CheckAllProperty is CheckAll for a Property.
 func (c *Checker) CheckAllProperty(sys *System, p Property) (*Report, error) {
+	if c.kernSet {
+		return core.CheckAllCtx(c.kernelCtx(nil), c.rec, sys, p, c.par)
+	}
 	return core.CheckAllParRec(c.rec, sys, p, c.par)
 }
 
@@ -140,6 +198,9 @@ func (c *Checker) CheckAllProperty(sys *System, p Property) (*Report, error) {
 // reports come back in props order with verdicts and witnesses
 // identical to checking each property serially.
 func (c *Checker) CheckPropertyPortfolio(sys *System, props []Property) ([]*Report, error) {
+	if c.kernSet {
+		return core.CheckPortfolioCtx(c.kernelCtx(nil), c.rec, sys, props, c.portfolioWorkers())
+	}
 	return core.CheckPortfolioRec(c.rec, sys, props, c.portfolioWorkers())
 }
 
@@ -148,6 +209,9 @@ func (c *Checker) CheckPropertyPortfolio(sys *System, props []Property) ([]*Repo
 // sharing an alphabet share the property automaton and its negation.
 // Reports come back in systems order, identical to the serial results.
 func (c *Checker) CheckSystemsPortfolio(systems []*System, p Property) ([]*Report, error) {
+	if c.kernSet {
+		return core.CheckSystemsPortfolioCtx(c.kernelCtx(nil), c.rec, systems, p, c.portfolioWorkers())
+	}
 	return core.CheckSystemsPortfolioRec(c.rec, systems, p, c.portfolioWorkers())
 }
 
