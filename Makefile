@@ -56,12 +56,16 @@ bench-save:
 	$(GO) test $(BENCHFLAGS) . | tee $(OUT)
 
 # THRESHOLD, when set, makes the comparison fail (exit 1) if any
-# benchmark regresses below it, e.g. make bench-cmp THRESHOLD=0.90
+# benchmark regresses below it, e.g. make bench-cmp THRESHOLD=0.90.
+# JSON=1 emits the comparison as one JSON object (per-benchmark ratios,
+# geomean, worst, gate verdict) instead of the table; the exit status
+# gates identically.
 BEFORE ?= bench_before.txt
 AFTER  ?= bench_after.txt
 THRESHOLD ?=
+JSON ?=
 bench-cmp:
-	./scripts/benchcmp $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BEFORE) $(AFTER)
+	./scripts/benchcmp $(if $(JSON),-json) $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BEFORE) $(AFTER)
 
 # Reproduce every figure and claim of the paper (EXPERIMENTS.md source).
 experiments:

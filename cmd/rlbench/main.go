@@ -77,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallel := fs.Int("parallel", 1, "worker-pool size for running experiments concurrently (0 = GOMAXPROCS)")
 	phaseTrials := fs.Int("phase-trials", 25, "instrumented checks behind the PHASES record in -metrics-json (0 disables)")
 	kernelFlag := fs.String("kernel", "auto", "decision-procedure kernel: auto, subset, or antichain")
+	simCap := fs.Int("sim-cap", kernel.DefaultSimulationCap, "antichain simulation-seeding cap: max simulation-pair space before the preorder is skipped (0 disables seeding)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 	kernel.SetDefault(kern)
+	kernel.SetSimulationCap(*simCap)
 	stopProf, err := obs.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlbench: %v\n", err)

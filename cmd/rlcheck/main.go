@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	kernelFlag := fs.String("kernel", "auto", "decision-procedure kernel: auto, subset, or antichain")
+	simCap := fs.Int("sim-cap", kernel.DefaultSimulationCap, "antichain simulation-seeding cap: max simulation-pair space before the preorder is skipped (0 disables seeding)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 	kernel.SetDefault(kern)
+	kernel.SetSimulationCap(*simCap)
 	stopProf, err := obs.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlcheck: %v\n", err)

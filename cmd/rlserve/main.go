@@ -9,7 +9,20 @@
 //	rlserve -addr :8080
 //	rlserve -addr 127.0.0.1:0 -workers 8 -queue 64 -timeout 30s
 //	rlserve -addr :8080 -slow 100ms -log-level info -log-json
+//	rlserve -addr :8080 -store /var/lib/relive -store-max-bytes 1073741824
+//	rlserve -addr :8081 -route http://127.0.0.1:8080,http://127.0.0.1:8082
 //	rlserve -version
+//
+// With -store DIR the server layers a persistent content-addressed
+// artifact store under its in-memory caches: completed reports survive
+// restarts, and replicas pointing -store at one shared volume reuse
+// each other's completed work. With -route the process runs as a shard
+// router instead of a backend: requests are spread over the listed
+// rlserve backends by the structural hash of their system (consistent
+// hashing, bounded load), concurrent identical requests coalesce into
+// one proxied check, and unhealthy backends are failed over
+// automatically. Answers through the router are bit-identical to
+// single-node rlserve.
 //
 // The bound address is printed to standard output once listening (so
 // ":0" can be used in scripts and tests). Every request carries a trace
@@ -40,6 +53,7 @@ import (
 
 	"relive/internal/kernel"
 	"relive/internal/serve"
+	"relive/internal/store"
 )
 
 func main() {
@@ -64,6 +78,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	logJSON := fs.Bool("log-json", false, "log requests as JSON lines instead of text")
 	version := fs.Bool("version", false, "print build info as JSON and exit")
 	kernelFlag := fs.String("kernel", "auto", "decision-procedure kernel: auto, subset, or antichain")
+	simCap := fs.Int("sim-cap", kernel.DefaultSimulationCap, "antichain simulation-seeding cap: max simulation-pair space before the preorder is skipped (0 disables seeding)")
+	storeDir := fs.String("store", "", "persistent artifact store directory (empty = no persistence); point replicas at one shared volume to share completed work")
+	storeMax := fs.Int64("store-max-bytes", 0, "artifact store size bound before LRU eviction (0 = 256 MiB)")
+	storeFsync := fs.Bool("store-fsync", false, "fsync every artifact write (crash durability for the newest artifacts)")
+	route := fs.String("route", "", "run as a shard router over these comma-separated rlserve backend URLs instead of serving checks")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,15 +92,34 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	kernel.SetDefault(kern)
+	kernel.SetSimulationCap(*simCap)
 	if *version {
+		out := struct {
+			serve.BuildInfo
+			Store string `json:"store,omitempty"`
+		}{BuildInfo: serve.Build(), Store: *storeDir}
 		enc := json.NewEncoder(stdout)
-		enc.Encode(serve.Build())
+		enc.Encode(out)
 		return 0
 	}
 	logger, err := buildLogger(*logLevel, *logJSON, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlserve: %v\n", err)
 		return 2
+	}
+
+	if *route != "" {
+		return runRouter(*route, *addr, *drainTimeout, logger, stdout, stderr, ready)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Fsync: *storeFsync})
+		if err != nil {
+			fmt.Fprintf(stderr, "rlserve: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rlserve: store %s (%d artifacts warm)\n", st.Dir(), st.Stats().Artifacts)
 	}
 
 	srv := serve.New(serve.Config{
@@ -92,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		FlightEntries:  *flight,
 		SlowThreshold:  *slow,
 		Logger:         logger,
+		Store:          st,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -129,6 +168,56 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	fmt.Fprintln(stderr, "rlserve: drained, exiting")
+	return 0
+}
+
+// runRouter runs the process as a shard router over the comma-separated
+// backend list until SIGINT/SIGTERM.
+func runRouter(backendList, addr string, drainTimeout time.Duration, logger *slog.Logger, stdout, stderr io.Writer, ready chan<- string) int {
+	var backends []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	rt, err := serve.NewRouter(serve.RouterConfig{Backends: backends, Logger: logger})
+	if err != nil {
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
+		return 2
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "rlserve: routing %d backends on %s\n", len(backends), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "rlserve: %v, stopping router\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(stderr, "rlserve: %v\n", err)
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "rlserve: shutdown: %v\n", err)
+		return 2
+	}
+	fmt.Fprintln(stderr, "rlserve: router stopped")
 	return 0
 }
 

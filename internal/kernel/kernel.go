@@ -98,3 +98,64 @@ func FromContext(ctx context.Context) Kind {
 	}
 	return Default()
 }
+
+// DefaultSimulationCap is the default bound on the pair space of the
+// simulation fixpoints that seed the antichain kernels. Inputs whose
+// pair space exceeds the cap skip the preorder and fall back to plain
+// ⊆ subsumption; see internal/nfa's simulation seeding for why the
+// bound is deliberately small.
+const DefaultSimulationCap = 1 << 12
+
+// simCapDefault is the process-wide simulation cap, stored shifted by
+// one: 0 means unset (DefaultSimulationCap applies), v > 0 means cap
+// v-1 — so a configured cap of 0 (seeding disabled) is distinguishable
+// from "never configured". Atomic for the same reason defaultKind is.
+var simCapDefault atomic.Int64
+
+// SetSimulationCap sets the process-wide simulation seeding cap: the
+// maximum simulation-pair space the antichain kernels may spend on
+// preorder seeding. 0 disables seeding entirely (identity subsumption);
+// negative values are treated as 0. Intended for CLI flag handling at
+// startup; per-check overrides use WithSimulationCap.
+func SetSimulationCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	simCapDefault.Store(int64(n) + 1)
+}
+
+// SimulationCap returns the process-wide simulation seeding cap.
+func SimulationCap() int {
+	if v := simCapDefault.Load(); v > 0 {
+		return int(v - 1)
+	}
+	return DefaultSimulationCap
+}
+
+type simCapKey struct{}
+
+// WithSimulationCap returns a context carrying n as the simulation
+// seeding cap for every check run under it, overriding the process-wide
+// value. 0 disables seeding; negative values are treated as 0. A nil
+// ctx starts from context.Background.
+func WithSimulationCap(ctx context.Context, n int) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n < 0 {
+		n = 0
+	}
+	return context.WithValue(ctx, simCapKey{}, n)
+}
+
+// SimulationCapFromContext returns the simulation seeding cap in effect
+// under ctx: the context override when present, the process-wide value
+// otherwise.
+func SimulationCapFromContext(ctx context.Context) int {
+	if ctx != nil {
+		if n, ok := ctx.Value(simCapKey{}).(int); ok {
+			return n
+		}
+	}
+	return SimulationCap()
+}

@@ -90,7 +90,7 @@ func IncludedAntichainCtx(ctx context.Context, a, b *NFA) (bool, word.Word, erro
 		}
 	}
 
-	simBelow, cross := inclusionPreorder(ae, be)
+	simBelow, cross := inclusionPreorder(ae, be, kernel.SimulationCapFromContext(ctx))
 
 	in := newSetInterner(nb)
 	scratch := newStateBits(nb)
@@ -334,7 +334,7 @@ func UniversalAntichainCtx(ctx context.Context, a *NFA) (bool, word.Word, error)
 		}
 	}
 
-	simBelow := simBelowOf(ae)
+	simBelow := simBelowOf(ae, kernel.SimulationCapFromContext(ctx))
 
 	in := newSetInterner(nb)
 	scratch := newStateBits(nb)

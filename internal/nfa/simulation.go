@@ -9,16 +9,20 @@ import "relive/internal/alphabet"
 // set inclusion to inclusion up to simulation and lets the search drop
 // pairs whose left state is simulated by a right state outright.
 
-// simulationMaxPairs bounds the pair space of the simulation fixpoints
-// seeding the antichain kernels. Larger inputs skip the preorder and
+// The pair space of the simulation fixpoints seeding the antichain
+// kernels is bounded by a cap (kernel.DefaultSimulationCap by default,
+// configurable via kernel.SetSimulationCap / kernel.WithSimulationCap
+// and the CLIs' -sim-cap flag). Larger inputs skip the preorder and
 // fall back to the identity (plain ⊆ subsumption), which keeps the
-// seeding cost negligible next to the search it accelerates. The bound
-// is deliberately small: the fixpoint costs pairs × edges × rounds, and
-// on mid-size non-adversarial operands (where the subset search is
-// already cheap) a preorder over ~10⁴ pairs costs more than the whole
-// search it would prune — the antichain's ⊆-minimality carries the
-// asymptotic win on its own.
-const simulationMaxPairs = 1 << 12
+// seeding cost negligible next to the search it accelerates. The
+// default is deliberately small: the fixpoint costs pairs × edges ×
+// rounds, and on mid-size non-adversarial operands (where the subset
+// search is already cheap) a preorder over ~10⁴ pairs costs more than
+// the whole search it would prune — the antichain's ⊆-minimality
+// carries the asymptotic win on its own. A cap of 0 disables seeding
+// entirely; verdicts and counterexample lengths are identical either
+// way (the preorder only widens subsumption, it never changes what the
+// search can find).
 
 // DirectSimulation computes the direct simulation preorder on the
 // automaton's states as a greatest fixpoint: sim[p][q] means q
@@ -118,11 +122,11 @@ func simStep(sim [][]bool, left, right *NFA, p, q int, syms []alphabet.Symbol) b
 //     A pair (x, T) with cross[x] ∩ T ≠ ∅ satisfies L(x) ⊆ L_b(T) and
 //     can never witness an inclusion failure.
 //
-// Returns (nil, nil) when the pair space exceeds simulationMaxPairs;
-// the caller then falls back to the identity preorder.
-func inclusionPreorder(ae, be *NFA) (simBelow, cross []stateBits) {
+// Returns (nil, nil) when the pair space exceeds cap (or cap disables
+// seeding); the caller then falls back to the identity preorder.
+func inclusionPreorder(ae, be *NFA, cap int) (simBelow, cross []stateBits) {
 	na, nb := ae.NumStates(), be.NumStates()
-	if nb == 0 || nb*nb+na*nb > simulationMaxPairs {
+	if cap <= 0 || nb == 0 || nb*nb+na*nb > cap {
 		return nil, nil
 	}
 	simBB := be.DirectSimulation()
@@ -150,10 +154,10 @@ func inclusionPreorder(ae, be *NFA) (simBelow, cross []stateBits) {
 
 // simBelowOf is the simBelow half of inclusionPreorder for the
 // universality check, whose left side is Σ* and needs no cross
-// relation. Returns nil above the pair-space bound.
-func simBelowOf(be *NFA) []stateBits {
+// relation. Returns nil above the pair-space cap.
+func simBelowOf(be *NFA, cap int) []stateBits {
 	nb := be.NumStates()
-	if nb == 0 || nb*nb > simulationMaxPairs {
+	if cap <= 0 || nb == 0 || nb*nb > cap {
 		return nil
 	}
 	simBB := be.DirectSimulation()

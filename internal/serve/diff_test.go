@@ -28,6 +28,7 @@ import (
 var (
 	serveSeedFlag  = flag.Int64("serve-seed", 1, "root seed of the randomized service differential suite")
 	servePairsFlag = flag.Int("serve-pairs", 120, "number of randomized request bodies per run")
+	serveURLFlag   = flag.String("serve-url", "", "run the differential suite against this live rlserve (or router) base URL instead of an in-process server")
 )
 
 // translationCap skips rare pathological tableau blowups, as in the
@@ -35,7 +36,15 @@ var (
 const translationCap = 64
 
 func TestServeDifferentialAgainstOracle(t *testing.T) {
-	_, hs := newTestServer(t, serve.Config{})
+	// With -serve-url the suite drives an externally running rlserve —
+	// or a shard router, whose answers must be bit-identical to a
+	// single node's — over real HTTP; the CI cluster-smoke job uses
+	// exactly this to differential-test a 3-backend cluster.
+	baseURL := *serveURLFlag
+	if baseURL == "" {
+		_, hs := newTestServer(t, serve.Config{})
+		baseURL = hs.URL
+	}
 	rng := rand.New(rand.NewSource(*serveSeedFlag))
 	ab := alphabet.FromNames("a", "b")
 	words := gen.Words(ab, oracle.DefaultBounds().WordLen)
@@ -54,7 +63,7 @@ func TestServeDifferentialAgainstOracle(t *testing.T) {
 		op := oracle.Property{Formula: f, Auto: pa}
 		desc := fmt.Sprintf("pair %d: system\n%sformula %s", i, sys.FormatString(), f)
 
-		status, _, body := postJSON(t, hs.URL+"/v1/check/all",
+		status, _, body := postJSON(t, baseURL+"/v1/check/all",
 			serve.CheckRequest{System: sys.FormatString(), LTL: f.String()})
 		if status != http.StatusOK {
 			t.Fatalf("%s\nstatus %d: %s", desc, status, body)
@@ -65,7 +74,7 @@ func TestServeDifferentialAgainstOracle(t *testing.T) {
 		if msg := oracleDisagreement(sys, op, rep, words, lassos); msg != "" {
 			t.Fatalf("%s\n%s", desc, msg)
 		}
-		if msg := endpointsDisagree(t, hs.URL, sys, f, rep); msg != "" {
+		if msg := endpointsDisagree(t, baseURL, sys, f, rep); msg != "" {
 			t.Fatalf("%s\n%s", desc, msg)
 		}
 		checked++

@@ -13,6 +13,7 @@ import (
 	"relive/internal/hom"
 	"relive/internal/ltl"
 	"relive/internal/obs"
+	"relive/internal/store"
 	"relive/internal/word"
 )
 
@@ -66,16 +67,20 @@ type AbstractionResponse struct {
 }
 
 // HealthResponse is the body of /healthz: serving state, worker-pool
-// occupancy, and the build identity (also printed by rlserve -version).
+// occupancy, the build identity (also printed by rlserve -version),
+// and — when the persistent store is configured — its path, artifact
+// count, and effectiveness counters, so an operator can see warm-cache
+// state at a glance.
 type HealthResponse struct {
-	Status        string  `json:"status"` // "ok" or "draining"
-	Inflight      int     `json:"inflight"`
-	Admitted      int64   `json:"admitted"`
-	Workers       int     `json:"workers"`
-	QueueDepth    int     `json:"queue_depth"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Version       string  `json:"version"`
-	GoVersion     string  `json:"go_version"`
+	Status        string       `json:"status"` // "ok" or "draining"
+	Inflight      int          `json:"inflight"`
+	Admitted      int64        `json:"admitted"`
+	Workers       int          `json:"workers"`
+	QueueDepth    int          `json:"queue_depth"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Version       string       `json:"version"`
+	GoVersion     string       `json:"go_version"`
+	Store         *store.Stats `json:"store,omitempty"`
 }
 
 func (s *Server) routes() {
@@ -163,6 +168,11 @@ func (s *Server) checkHandler(endpoint string, run func(context.Context, *core.S
 				writeCached(w, cached, true)
 				return
 			}
+			if cached, ok := s.storeGetReport(rkey); ok {
+				s.noteCachePath(ri, cachePathStoreHit, true)
+				writeCached(w, cached, true)
+				return
+			}
 		}
 		release, status, aerr := s.admit(r.Context())
 		if aerr != nil || status != 0 {
@@ -195,6 +205,7 @@ func (s *Server) checkHandler(endpoint string, run func(context.Context, *core.S
 // Cache-path labels: where a check's answer came from.
 const (
 	cachePathReportHit   = "report-hit"   // marshaled report replayed, no worker slot
+	cachePathStoreHit    = "store-hit"    // report replayed from the persistent store
 	cachePathPipelineHit = "pipeline-hit" // artifact cells reused, verdicts recomputed
 	cachePathMiss        = "miss"         // full cold pipeline
 )
@@ -281,6 +292,11 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 			writeCached(w, cached, true)
 			return
 		}
+		if cached, ok := s.storeGetReport(rkey); ok {
+			s.noteCachePath(ri, cachePathStoreHit, true)
+			writeCached(w, cached, true)
+			return
+		}
 	}
 	// A portfolio's cache path reflects its weakest link: pipeline-hit
 	// only when every property's artifact set was already cached.
@@ -357,6 +373,11 @@ func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
 			writeCached(w, cached, true)
 			return
 		}
+		if cached, ok := s.storeGetReport(rkey); ok {
+			s.noteCachePath(ri, cachePathStoreHit, true)
+			writeCached(w, cached, true)
+			return
+		}
 	}
 	// The abstraction route has no pipeline-cell cache; anything past
 	// the report cache is a cold run.
@@ -414,6 +435,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:       build.Version,
 		GoVersion:     build.GoVersion,
 	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -441,6 +466,12 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, rkey string, out
 		ri.verdict = "ok"
 	}
 	writeCached(w, body, false)
+	// Write-through after the response: a store write never adds
+	// latency to the check that produced the report. no_cache responses
+	// are not persisted either — they exist to measure the cold path.
+	if !noCache {
+		s.storePut(storeKindReport, rkey, body)
+	}
 }
 
 // outcome classifies an error for span tagging.

@@ -11,6 +11,7 @@ import (
 	"relive/internal/kernel"
 	"relive/internal/obs"
 	"relive/internal/serve/cache"
+	"relive/internal/store"
 )
 
 // serverMetrics is the server's latency-histogram set: per-endpoint
@@ -24,6 +25,7 @@ type serverMetrics struct {
 	phase     map[string]*obs.Histogram // pipeline phase duration, ns, keyed "phase|kernel"
 	cachePath map[string]*obs.Histogram // request latency by cache path, ns
 	queueWait *obs.Histogram            // admission queue wait, ns
+	storeRead *obs.Histogram            // persistent-store report probe, ns
 }
 
 // endpointLabels lists every routed endpoint; keep in sync with routes.
@@ -32,7 +34,7 @@ var endpointLabels = []string{
 	"healthz", "metrics", "debug",
 }
 
-var cachePathLabels = []string{cachePathReportHit, cachePathPipelineHit, cachePathMiss}
+var cachePathLabels = []string{cachePathReportHit, cachePathStoreHit, cachePathPipelineHit, cachePathMiss}
 
 // kernelLabels are the decision-procedure kernels a check can run on;
 // the phase histograms are split by the kernel in effect so a -kernel
@@ -47,6 +49,7 @@ func newServerMetrics() *serverMetrics {
 		phase:     make(map[string]*obs.Histogram, len(core.Phases)*len(kernelLabels)),
 		cachePath: make(map[string]*obs.Histogram, len(cachePathLabels)),
 		queueWait: &obs.Histogram{},
+		storeRead: &obs.Histogram{},
 	}
 	for _, e := range endpointLabels {
 		m.endpoint[e] = &obs.Histogram{}
@@ -84,12 +87,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCacheStats(&b, "system", s.systems.Stats())
 	writeCacheStats(&b, "pipeline", s.pipelines.Stats())
 	writeCacheStats(&b, "report", s.reports.Stats())
+	if s.store != nil {
+		writeStoreStats(&b, s.store.Stats())
+	}
 
 	writeHistogramFamily(&b, "relive_serve_request_seconds", "endpoint", s.metrics.endpoint)
 	writePhaseHistograms(&b, s.metrics.phase)
 	writeHistogramFamily(&b, "relive_serve_cache_path_seconds", "path", s.metrics.cachePath)
 	fmt.Fprintf(&b, "# TYPE relive_serve_queue_wait_seconds histogram\n")
 	writeHistogramSeries(&b, "relive_serve_queue_wait_seconds", "", s.metrics.queueWait.Snapshot())
+	if s.store != nil {
+		fmt.Fprintf(&b, "# TYPE relive_store_read_seconds histogram\n")
+		writeHistogramSeries(&b, "relive_store_read_seconds", "", s.metrics.storeRead.Snapshot())
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
@@ -160,6 +170,25 @@ func writeCacheStats(b *strings.Builder, cacheName string, st cache.Stats) {
 	counter("relive_serve_cache_evictions_total", st.Evictions)
 	gauge("relive_serve_cache_entries", int64(st.Len))
 	gauge("relive_serve_cache_capacity", int64(st.Cap))
+}
+
+// writeStoreStats renders the persistent store's counters and
+// occupancy.
+func writeStoreStats(b *strings.Builder, st store.Stats) {
+	counter := func(metric string, v int64) {
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", metric, metric, v)
+	}
+	gauge := func(metric string, v int64) {
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", metric, metric, v)
+	}
+	counter("relive_store_hits_total", st.Hits)
+	counter("relive_store_misses_total", st.Misses)
+	counter("relive_store_corrupt_total", st.Corrupt)
+	counter("relive_store_puts_total", st.Puts)
+	counter("relive_store_evicted_total", st.Evicted)
+	gauge("relive_store_artifacts", st.Artifacts)
+	gauge("relive_store_bytes", st.Bytes)
+	gauge("relive_store_max_bytes", st.MaxBytes)
 }
 
 // metricName sanitizes an obs counter/gauge name into a Prometheus

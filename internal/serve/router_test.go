@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relive/internal/ltl"
+)
+
+// The router's white-box suite: the key mirror (router keys must equal
+// the backends' cache keys, or coalescing would merge what a backend
+// would not), ring placement, bounded load, and the coalescing cell's
+// lifecycle. The black-box cluster behavior lives in cluster_test.go.
+
+// stubBackends starts n trivial HTTP servers whose /healthz always
+// answers 200, so NewRouter's prober keeps them healthy.
+func stubBackends(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+		t.Cleanup(hs.Close)
+		urls[i] = hs.URL
+	}
+	return urls
+}
+
+func newTestRouter(t *testing.T, urls []string) *Router {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{Backends: urls, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestRouteKeyMirrorsBackendKeys pins the router's central invariant:
+// routeKeyFor computes exactly the report key the backend handlers
+// cache under, for every endpoint shape — so router-level coalescing
+// can only merge requests a single backend's report cache would merge.
+func TestRouteKeyMirrorsBackendKeys(t *testing.T) {
+	s := New(Config{})
+	sysText := "init idle\nidle request busy\nbusy result idle\nbusy reject idle\n"
+
+	// Single-property endpoints: rkey must equal
+	// reportKey(endpoint, resolveSystem key, resolveProperty part).
+	sysKey, sc, err := s.resolveSystem(sysText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := resolveProperty(sc, "G F result", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, endpoint := range []string{"all", "liveness", "safety", "satisfies"} {
+		body, _ := json.Marshal(CheckRequest{System: sysText, LTL: "G F result"})
+		rk, err := routeKeyFor(endpoint, body)
+		if err != nil {
+			t.Fatalf("%s: %v", endpoint, err)
+		}
+		if want := reportKey(endpoint, sysKey, part); rk.rkey != want {
+			t.Fatalf("%s: router rkey %q != backend report key %q", endpoint, rk.rkey, want)
+		}
+		if rk.sysKey != sysKey {
+			t.Fatalf("%s: router sysKey %q != backend %q", endpoint, rk.sysKey, sysKey)
+		}
+	}
+
+	// ω-regex properties are keyed by raw text on both sides.
+	const omegaText = "( request result | request reject ) ^w"
+	omegaPart, _, err := resolveProperty(sc, "", omegaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(CheckRequest{System: sysText, Omega: omegaText})
+	rk, err := routeKeyFor("all", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reportKey("all", sysKey, omegaPart); rk.rkey != want {
+		t.Fatalf("omega: router rkey %q != backend report key %q", rk.rkey, want)
+	}
+
+	// Portfolio: hashKey("portfolio", sysKey, parts...).
+	body, _ = json.Marshal(PortfolioRequest{System: sysText, LTLs: []string{"G F result", "G F request"}})
+	rk, err = routeKeyFor("portfolio", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _, _ := resolveProperty(sc, "G F result", "")
+	p2, _, _ := resolveProperty(sc, "G F request", "")
+	if want := hashKey("portfolio", sysKey, p1, p2); rk.rkey != want {
+		t.Fatalf("portfolio: router rkey %q != backend %q", rk.rkey, want)
+	}
+
+	// Abstraction: hashKey("abstraction", sysKey, raw hom, canonical η) —
+	// recomputed here exactly as handleAbstraction does.
+	homText := "request=>request, result=>result, reject=>reject"
+	etaText := "G F ( result | reject )"
+	body, _ = json.Marshal(AbstractionRequest{System: sysText, Hom: homText, Eta: etaText})
+	rk, err = routeKeyFor("abstraction", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta, err := ltl.Parse(etaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := hashKey("abstraction", sysKey, homText, eta.String()); rk.rkey != want {
+		t.Fatalf("abstraction: router rkey %q != backend %q", rk.rkey, want)
+	}
+
+	// Canonicalization: a differently-spelled but structurally identical
+	// system (extra blank lines, reordered transitions format the same)
+	// and formula spelling share one key; a different formula does not.
+	variant := "\ninit idle\n\nidle  request   busy\nbusy result idle\nbusy reject idle\n\n"
+	b1, _ := json.Marshal(CheckRequest{System: sysText, LTL: "G F result"})
+	b2, _ := json.Marshal(CheckRequest{System: variant, LTL: "G  F   result"})
+	k1, err1 := routeKeyFor("all", b1)
+	k2, err2 := routeKeyFor("all", b2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if k1.rkey != k2.rkey || k1.sysKey != k2.sysKey {
+		t.Fatal("equivalent spellings of the same request got different route keys")
+	}
+	b3, _ := json.Marshal(CheckRequest{System: sysText, LTL: "G F request"})
+	k3, err := routeKeyFor("all", b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3.rkey == k1.rkey {
+		t.Fatal("different formulas collided on one route key")
+	}
+	if k3.sysKey != k1.sysKey {
+		t.Fatal("same system got different placement keys for different formulas")
+	}
+
+	// Malformed requests are rejected with the same parse errors the
+	// backend would produce; unknown endpoints are flagged distinctly.
+	if _, err := routeKeyFor("all", []byte(`{"ltl":"G F a"}`)); err == nil {
+		t.Fatal("missing system accepted")
+	}
+	if _, err := routeKeyFor("nope", b1); !errors.Is(err, errUnknownEndpoint) {
+		t.Fatalf("unknown endpoint error = %v", err)
+	}
+}
+
+// TestPickDeterministicSpread: placement is a pure function of the key,
+// and distinct keys spread over every backend.
+func TestPickDeterministicSpread(t *testing.T) {
+	rt := newTestRouter(t, stubBackends(t, 3))
+	counts := make(map[string]int)
+	for i := 0; i < 600; i++ {
+		key := fmt.Sprintf("sys-%d", i)
+		order := rt.pick(key)
+		if len(order) != 3 {
+			t.Fatalf("pick returned %d backends, want 3", len(order))
+		}
+		again := rt.pick(key)
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("pick(%q) not deterministic at position %d", key, j)
+			}
+		}
+		counts[order[0].url]++
+	}
+	for _, b := range rt.backends {
+		if c := counts[b.url]; c < 60 { // 10% of 600; fair share is 200
+			t.Fatalf("backend %s owns only %d/600 keys — ring is unbalanced: %v", b.url, c, counts)
+		}
+	}
+}
+
+// TestPickBoundedLoadAndHealth: an overloaded backend yields its keys
+// to the next ring candidate, and an unhealthy one sorts last.
+func TestPickBoundedLoadAndHealth(t *testing.T) {
+	rt := newTestRouter(t, stubBackends(t, 3))
+	key := "hot-system"
+	first := rt.pick(key)[0]
+
+	// Pile in-flight proxies on the key's owner: with total=40 over 3
+	// healthy backends the bounded-load cap is well under 40, so the
+	// owner must be skipped.
+	first.inflight.Store(40)
+	order := rt.pick(key)
+	if order[0] == first {
+		t.Fatal("bounded load kept routing to the overloaded owner")
+	}
+	if order[len(order)-1] != first {
+		t.Fatal("overloaded owner should sort after under-capacity backends")
+	}
+	first.inflight.Store(0)
+	if rt.pick(key)[0] != first {
+		t.Fatal("owner did not get its keys back after draining")
+	}
+
+	// Unhealthy sorts last but is still offered as a last resort.
+	first.healthy.Store(false)
+	order = rt.pick(key)
+	if order[0] == first || order[len(order)-1] != first {
+		t.Fatal("unhealthy owner should be the last resort")
+	}
+	first.healthy.Store(true)
+}
+
+// TestCoalesceLifecycle: one run per key across concurrent callers,
+// errors shared with the waiters of the moment but never sticky, and
+// the last departing waiter cancels the detached run.
+func TestCoalesceLifecycle(t *testing.T) {
+	rt := &Router{flight: make(map[string]*flightCell)}
+	var runs atomic.Int64
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (*proxyResult, error) {
+		runs.Add(1)
+		<-release
+		return &proxyResult{status: 200, body: []byte("shared")}, nil
+	}
+
+	const n = 50
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			res, shared, err := rt.coalesce("k", context.Background(), time.Minute, fn)
+			if err != nil || string(res.body) != "shared" {
+				t.Errorf("coalesced call: res=%v err=%v", res, err)
+				return
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// All callers are in flight (the leader is parked on release);
+	// every later arrival must have joined its cell.
+	for {
+		rt.mu.Lock()
+		c := rt.flight["k"]
+		waiters := 0
+		if c != nil {
+			waiters = c.waiters
+		}
+		rt.mu.Unlock()
+		if waiters == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical calls ran fn %d times, want 1", n, got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Fatalf("shared=true for %d callers, want %d", got, n-1)
+	}
+
+	// Errors are delivered to current waiters but the cell dies with the
+	// run: the next call retries immediately.
+	boom := errors.New("backend exploded")
+	failOnce := func(ctx context.Context) (*proxyResult, error) { return nil, boom }
+	if _, _, err := rt.coalesce("e", context.Background(), time.Minute, failOnce); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	ok := func(ctx context.Context) (*proxyResult, error) {
+		return &proxyResult{status: 200, body: []byte("recovered")}, nil
+	}
+	res, shared, err := rt.coalesce("e", context.Background(), time.Minute, ok)
+	if err != nil || shared || string(res.body) != "recovered" {
+		t.Fatalf("error was sticky: res=%v shared=%v err=%v", res, shared, err)
+	}
+
+	// Last waiter out cancels the detached run.
+	cancelled := make(chan struct{})
+	hang := func(ctx context.Context) (*proxyResult, error) {
+		<-ctx.Done()
+		close(cancelled)
+		return nil, ctx.Err()
+	}
+	clientCtx, clientCancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := rt.coalesce("h", clientCtx, time.Minute, hang)
+		errc <- err
+	}()
+	for {
+		rt.mu.Lock()
+		_, inFlight := rt.flight["h"]
+		rt.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clientCancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("departing caller got %v, want context.Canceled", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned run was never cancelled")
+	}
+}
+
+// TestRouterRejectsEmptyBackends: configuration errors are loud.
+func TestRouterRejectsEmptyBackends(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Fatal("NewRouter accepted zero backends")
+	}
+	if _, err := NewRouter(RouterConfig{Backends: []string{"", "  "}}); err == nil {
+		t.Fatal("NewRouter accepted only-blank backend URLs")
+	}
+}

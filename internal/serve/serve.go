@@ -8,6 +8,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"log/slog"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"relive/internal/obs"
 	"relive/internal/rex"
 	"relive/internal/serve/cache"
+	"relive/internal/store"
 	"relive/internal/ts"
 )
 
@@ -66,6 +68,13 @@ type Config struct {
 	// Logger receives one JSON-lines (or text, per its handler) record
 	// per request; nil disables request logging.
 	Logger *slog.Logger
+	// Store is the persistent content-addressed artifact store layered
+	// under the LRUs: completed reports (and canonical system texts plus
+	// compiled-pipeline metadata) are written through to it, and a
+	// report-LRU miss probes it before admitting the check, so replicas
+	// sharing a volume — and restarts of one replica — reuse each
+	// other's completed work. nil disables persistence entirely.
+	Store *store.Store
 }
 
 // Server is the checking service. Create with New, mount Handler, and
@@ -87,6 +96,7 @@ type Server struct {
 	systems   *cache.LRU[*core.SystemCells]
 	pipelines *cache.LRU[*core.PipelineCells]
 	reports   *cache.LRU[[]byte]
+	store     *store.Store // nil when persistence is off
 
 	mux *http.ServeMux
 }
@@ -138,6 +148,7 @@ func New(cfg Config) *Server {
 		systems:   cache.New[*core.SystemCells](cfg.SystemEntries),
 		pipelines: cache.New[*core.PipelineCells](cfg.PipelineEntries),
 		reports:   cache.New[[]byte](cfg.ReportEntries),
+		store:     cfg.Store,
 	}
 	if cfg.FlightEntries > 0 {
 		s.flight = newFlightRecorder(cfg.FlightEntries, cfg.FlightTraces, cfg.SlowThreshold)
@@ -154,6 +165,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Trace returns the recorder backing /metrics, for tests and embedding
 // processes.
 func (s *Server) Trace() *obs.Trace { return s.tr }
+
+// Store returns the persistent artifact store (nil when persistence is
+// off), for tests and embedding processes.
+func (s *Server) Store() *store.Store { return s.store }
 
 // FlightRecords returns the flight recorder's completed checks, most
 // recent first (nil when the recorder is disabled) — the programmatic
@@ -229,6 +244,48 @@ func (s *Server) checkContext(r *http.Request, timeoutMS int) (context.Context, 
 	return context.WithTimeout(r.Context(), d)
 }
 
+// Artifact kinds in the persistent store. Reports are the hot artifact
+// — a store hit skips the whole pipeline; system and pipeline artifacts
+// are the canonical text and compiled-pipeline metadata keyed by the
+// same structural hashes, so an operator (or a future pre-warmer) can
+// see exactly which work a warm volume holds.
+const (
+	storeKindReport   = "report"
+	storeKindSystem   = "system"
+	storeKindPipeline = "pipeline"
+)
+
+// storeGetReport probes the persistent store for a completed report,
+// timing the read into relive_store_read_seconds. A hit also fills the
+// in-memory report LRU so the next identical request never touches
+// disk.
+func (s *Server) storeGetReport(rkey string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	start := time.Now()
+	body, ok := s.store.Get(storeKindReport, rkey)
+	s.metrics.storeRead.Observe(time.Since(start).Nanoseconds())
+	if !ok {
+		return nil, false
+	}
+	obs.Count(s.tr, "serve.store.report_hits", 1)
+	s.reports.Add(rkey, body)
+	return body, true
+}
+
+// storePut persists one artifact, counting (not surfacing) failures: a
+// full disk or lost volume must never fail the check whose answer is
+// already computed.
+func (s *Server) storePut(kind, key string, payload []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(kind, key, payload); err != nil {
+		obs.Count(s.tr, "serve.store.put_errors", 1)
+	}
+}
+
 // resolveSystem parses the request's system text and returns its
 // structural key plus the cached single-flight artifact handle. The
 // cached system is re-parsed from the canonical rendering, so its
@@ -251,6 +308,8 @@ func (s *Server) resolveSystem(text string) (string, *core.SystemCells, error) {
 	})
 	if hit {
 		obs.Count(s.tr, "serve.cache.system_hits", 1)
+	} else {
+		s.storePut(storeKindSystem, key, []byte(canon))
 	}
 	return key, sc, nil
 }
@@ -292,6 +351,11 @@ func (s *Server) pipelineFor(sysKey, propPart string, sc *core.SystemCells, p co
 	})
 	if hit {
 		obs.Count(s.tr, "serve.cache.pipeline_hits", 1)
+	} else if s.store != nil {
+		meta, err := json.Marshal(map[string]string{"system": sysKey, "property": propPart})
+		if err == nil {
+			s.storePut(storeKindPipeline, key, meta)
+		}
 	}
 	return pc, hit
 }

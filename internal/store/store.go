@@ -1,0 +1,314 @@
+// Package store is the persistent, content-addressed artifact store
+// behind the checking service: a directory of immutable artifacts keyed
+// by the structural hashes internal/serve already computes (marshaled
+// reports, canonical system texts, compiled-pipeline metadata), shared
+// by replicas over a common volume so completed work survives restarts
+// and crosses processes.
+//
+// The design holds three properties the serving layer depends on:
+//
+//   - Writes are atomic. An artifact is written to a temp file in its
+//     final directory and renamed into place, so a reader never sees a
+//     half-written artifact under the final name; fsync is optional
+//     (off by default — losing the newest artifacts to a power cut only
+//     costs recomputation).
+//   - Reads are corruption-tolerant. Every artifact carries a magic,
+//     the payload length, and a CRC; a short, truncated, or garbage
+//     file reads as a miss (and is removed best-effort), never as an
+//     error the service would surface as a 500.
+//   - GC never breaks a read. Eviction is plain unlink; a concurrent
+//     reader that already opened the file keeps its data (POSIX), and
+//     one that loses the race gets a clean miss.
+//
+// Recency for GC is a logical atime: Get bumps the artifact's mtime
+// (filesystem atime is unreliable under noatime/relatime mounts), and
+// GC evicts oldest-mtime artifacts first once the store exceeds its
+// size bound.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Artifact file format: 8-byte magic, 4-byte IEEE CRC of the payload,
+// 8-byte little-endian payload length, payload. Anything that fails any
+// of those checks — wrong magic, short header, length mismatch, CRC
+// mismatch — is treated as a miss.
+const (
+	magic      = "RLART1\x00\x00"
+	headerSize = len(magic) + 4 + 8
+)
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes bounds the total payload+header bytes on disk; past it a
+	// Put triggers GC down to ~80% of the bound, evicting least recently
+	// used artifacts. <= 0 means 256 MiB.
+	MaxBytes int64
+	// Fsync makes every Put fsync the artifact and its directory before
+	// rename, trading write latency for crash durability of the newest
+	// artifacts. Off by default: a lost artifact is only lost work.
+	Fsync bool
+}
+
+// Stats is a point-in-time snapshot of a store's state and
+// effectiveness.
+type Stats struct {
+	Path      string `json:"path"`
+	Artifacts int64  `json:"artifacts"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Corrupt   int64  `json:"corrupt"`
+	Puts      int64  `json:"puts"`
+	Evicted   int64  `json:"evicted"`
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// Safe for concurrent use by any number of goroutines and (for Get/Put)
+// by any number of processes sharing the directory.
+type Store struct {
+	dir string
+	opt Options
+
+	count atomic.Int64 // artifacts on disk (tracked approximately)
+	bytes atomic.Int64 // bytes on disk (tracked approximately)
+
+	hits, misses, corrupt, puts, evicted atomic.Int64
+
+	gcMu sync.Mutex // one GC sweep at a time
+}
+
+// Open opens (creating if needed) the store rooted at dir and scans it
+// once to initialize the occupancy counters. Artifacts already present
+// — a warm volume — are served immediately.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+	var count, bytes int64
+	filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".art") {
+			return nil
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			count++
+			bytes += info.Size()
+		}
+		return nil
+	})
+	s.count.Store(count)
+	s.bytes.Store(bytes)
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps (kind, key) to the artifact path, fanning out on the first
+// two key characters so one directory never holds every artifact. Keys
+// are the serving layer's fixed-width hex hashes; anything shorter is
+// grouped under a single fan-out bucket.
+func (s *Store) path(kind, key string) string {
+	fan := "xx"
+	if len(key) >= 2 {
+		fan = key[:2]
+	}
+	return filepath.Join(s.dir, kind, fan, key+".art")
+}
+
+// Get returns the payload stored under (kind, key). Any missing, short,
+// truncated, or corrupt artifact is a miss: the store never surfaces an
+// error for a bad artifact, it deletes it (best-effort) and reports
+// false, so a serving layer can always fall back to recomputation.
+func (s *Store) Get(kind, key string) ([]byte, bool) {
+	path := s.path(kind, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decode(data)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		s.removeArtifact(path)
+		return nil, false
+	}
+	s.hits.Add(1)
+	// Logical atime for the GC's LRU ordering; failure is harmless (the
+	// artifact just ages faster).
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return payload, true
+}
+
+// decode validates an artifact image and returns its payload.
+func decode(data []byte) ([]byte, bool) {
+	if len(data) < headerSize || string(data[:len(magic)]) != magic {
+		return nil, false
+	}
+	crc := binary.LittleEndian.Uint32(data[len(magic):])
+	n := binary.LittleEndian.Uint64(data[len(magic)+4:])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n || crc32.ChecksumIEEE(payload) != crc {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores payload under (kind, key) atomically: temp file in the
+// final directory, optional fsync, rename. Concurrent writers of the
+// same key are safe — each writes its own temp file and the renames
+// serialize, so readers always see one complete artifact. Errors are
+// returned for the caller to count; the store stays consistent either
+// way.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	path := s.path(kind, key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var hdr [headerSize]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint32(hdr[len(magic):], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(hdr[len(magic)+4:], uint64(len(payload)))
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opt.Fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	size := int64(headerSize + len(payload))
+	fresh := true
+	if info, serr := os.Stat(path); serr == nil {
+		// Overwrite: the net growth is the size delta.
+		fresh = false
+		s.bytes.Add(size - info.Size())
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opt.Fsync {
+		if d, derr := os.Open(dir); derr == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	if fresh {
+		s.count.Add(1)
+		s.bytes.Add(size)
+	}
+	s.puts.Add(1)
+	if s.bytes.Load() > s.opt.MaxBytes {
+		s.gc()
+	}
+	return nil
+}
+
+// removeArtifact unlinks an artifact and adjusts the occupancy
+// counters; used for corrupt artifacts and by GC.
+func (s *Store) removeArtifact(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	if os.Remove(path) == nil {
+		s.count.Add(-1)
+		s.bytes.Add(-info.Size())
+	}
+}
+
+// gc evicts least-recently-used artifacts (by the logical atime Get
+// maintains) until the store is under ~80% of its bound. Eviction is
+// unlink-only: a reader that already opened a victim keeps its bytes,
+// one that races the unlink gets a clean miss.
+func (s *Store) gc() {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	target := s.opt.MaxBytes * 8 / 10
+	if s.bytes.Load() <= target {
+		return // a concurrent Put already paid for this sweep
+	}
+	type victim struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var all []victim
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".art") {
+			return nil
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			all = append(all, victim{path: path, size: info.Size(), atime: info.ModTime()})
+		}
+		return nil
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].atime.Before(all[j].atime) })
+	// Resync the tracked occupancy with the scan (other replicas may
+	// share the volume), then evict oldest-first down to the target.
+	var total int64
+	for _, v := range all {
+		total += v.size
+	}
+	s.bytes.Store(total)
+	s.count.Store(int64(len(all)))
+	for _, v := range all {
+		if s.bytes.Load() <= target {
+			break
+		}
+		if os.Remove(v.path) == nil {
+			s.count.Add(-1)
+			s.bytes.Add(-v.size)
+			s.evicted.Add(1)
+		}
+	}
+}
+
+// Stats returns a snapshot of the store's occupancy and counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Path:      s.dir,
+		Artifacts: s.count.Load(),
+		Bytes:     s.bytes.Load(),
+		MaxBytes:  s.opt.MaxBytes,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Puts:      s.puts.Load(),
+		Evicted:   s.evicted.Load(),
+	}
+}

@@ -55,10 +55,12 @@ const (
 // (or With() with no options) behaves exactly like the package-level
 // functions.
 type Checker struct {
-	rec     Recorder
-	par     int
-	kern    kernel.Kind
-	kernSet bool
+	rec       Recorder
+	par       int
+	kern      kernel.Kind
+	kernSet   bool
+	simCap    int
+	simCapSet bool
 }
 
 // Option configures a Checker.
@@ -101,6 +103,25 @@ func WithKernel(k KernelKind) Option {
 	}
 }
 
+// WithSimulationCap scopes the antichain kernels' simulation-seeding
+// cap to the returned Checker: the maximum simulation-pair space
+// (|b|² + |a|·|b| for an inclusion a ⊆ b) the kernels may spend
+// computing the simulation preorder that widens antichain subsumption.
+// Inputs over the cap — and every input when n is 0 — skip the preorder
+// and prune by plain ⊆ alone. Verdicts and witnesses are identical at
+// any cap (the preorder only removes redundant work, never answers);
+// the cap trades seeding cost against search pruning. The process-wide
+// default is kernel.DefaultSimulationCap (see the CLIs' -sim-cap flag).
+func WithSimulationCap(n int) Option {
+	return func(c *Checker) {
+		if n < 0 {
+			n = 0
+		}
+		c.simCap = n
+		c.simCapSet = true
+	}
+}
+
 // With returns a Checker carrying the given options. Existing
 // package-level entry points are unchanged; this is the additive way to
 // attach observability:
@@ -122,16 +143,19 @@ func (c *Checker) Recorder() Recorder { return c.rec }
 // Parallelism returns the configured parallelism degree (0 = serial).
 func (c *Checker) Parallelism() int { return c.par }
 
-// kernelCtx returns ctx carrying the Checker's kernel override, or ctx
-// unchanged when no WithKernel option was given (so checks fall back to
-// the process-wide default). A nil ctx with an override becomes a
-// background context; without one it stays nil (the uncancellable
-// serial path).
+// kernelCtx returns ctx carrying the Checker's kernel and
+// simulation-cap overrides, or ctx unchanged when neither option was
+// given (so checks fall back to the process-wide defaults). A nil ctx
+// with an override becomes a background context; without one it stays
+// nil (the uncancellable serial path).
 func (c *Checker) kernelCtx(ctx context.Context) context.Context {
-	if !c.kernSet {
-		return ctx
+	if c.kernSet {
+		ctx = kernel.NewContext(ctx, c.kern)
 	}
-	return kernel.NewContext(ctx, c.kern)
+	if c.simCapSet {
+		ctx = kernel.WithSimulationCap(ctx, c.simCap)
+	}
+	return ctx
 }
 
 // CheckRelativeLiveness is the package-level CheckRelativeLiveness with
@@ -142,7 +166,7 @@ func (c *Checker) CheckRelativeLiveness(sys *System, f *Formula) (LivenessResult
 
 // CheckRelativeLivenessProperty is CheckRelativeLiveness for a Property.
 func (c *Checker) CheckRelativeLivenessProperty(sys *System, p Property) (LivenessResult, error) {
-	if c.kernSet {
+	if c.kernSet || c.simCapSet {
 		return core.RelativeLivenessCtx(c.kernelCtx(nil), c.rec, sys, p)
 	}
 	return core.RelativeLivenessRec(c.rec, sys, p)
@@ -156,7 +180,7 @@ func (c *Checker) CheckRelativeSafety(sys *System, f *Formula) (SafetyResult, er
 
 // CheckRelativeSafetyProperty is CheckRelativeSafety for a Property.
 func (c *Checker) CheckRelativeSafetyProperty(sys *System, p Property) (SafetyResult, error) {
-	if c.kernSet {
+	if c.kernSet || c.simCapSet {
 		return core.RelativeSafetyCtx(c.kernelCtx(nil), c.rec, sys, p)
 	}
 	return core.RelativeSafetyRec(c.rec, sys, p)
@@ -170,7 +194,7 @@ func (c *Checker) CheckSatisfies(sys *System, f *Formula) (SatisfactionResult, e
 
 // CheckSatisfiesProperty is CheckSatisfies for a Property.
 func (c *Checker) CheckSatisfiesProperty(sys *System, p Property) (SatisfactionResult, error) {
-	if c.kernSet {
+	if c.kernSet || c.simCapSet {
 		return core.SatisfiesCtx(c.kernelCtx(nil), c.rec, sys, p)
 	}
 	return core.SatisfiesRec(c.rec, sys, p)
@@ -185,7 +209,7 @@ func (c *Checker) CheckAll(sys *System, f *Formula) (*Report, error) {
 
 // CheckAllProperty is CheckAll for a Property.
 func (c *Checker) CheckAllProperty(sys *System, p Property) (*Report, error) {
-	if c.kernSet {
+	if c.kernSet || c.simCapSet {
 		return core.CheckAllCtx(c.kernelCtx(nil), c.rec, sys, p, c.par)
 	}
 	return core.CheckAllParRec(c.rec, sys, p, c.par)
@@ -198,7 +222,7 @@ func (c *Checker) CheckAllProperty(sys *System, p Property) (*Report, error) {
 // reports come back in props order with verdicts and witnesses
 // identical to checking each property serially.
 func (c *Checker) CheckPropertyPortfolio(sys *System, props []Property) ([]*Report, error) {
-	if c.kernSet {
+	if c.kernSet || c.simCapSet {
 		return core.CheckPortfolioCtx(c.kernelCtx(nil), c.rec, sys, props, c.portfolioWorkers())
 	}
 	return core.CheckPortfolioRec(c.rec, sys, props, c.portfolioWorkers())
@@ -209,7 +233,7 @@ func (c *Checker) CheckPropertyPortfolio(sys *System, props []Property) ([]*Repo
 // sharing an alphabet share the property automaton and its negation.
 // Reports come back in systems order, identical to the serial results.
 func (c *Checker) CheckSystemsPortfolio(systems []*System, p Property) ([]*Report, error) {
-	if c.kernSet {
+	if c.kernSet || c.simCapSet {
 		return core.CheckSystemsPortfolioCtx(c.kernelCtx(nil), c.rec, systems, p, c.portfolioWorkers())
 	}
 	return core.CheckSystemsPortfolioRec(c.rec, systems, p, c.portfolioWorkers())
