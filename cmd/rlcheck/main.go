@@ -39,6 +39,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	ltlText := fs.String("ltl", "", "PLTL property, e.g. \"G F result\" or \"□◇result\"")
 	omegaText := fs.String("omega", "", "ω-regular property \"U ( V ) ^w\" instead of -ltl")
 	check := fs.String("check", "all", "which check to run: rl, rs, sat, or all")
+	mode := fs.String("mode", "direct", "direct (Section 4 checks) or fair-abstract (all fair runs satisfy -ltl through -hom)")
+	homSpec := fs.String("hom", "", "abstracting homomorphism \"a=>x, b=>\" (fair-abstract mode)")
+	fairnessFlag := fs.String("fairness", "strong", "fairness notion for fair-abstract mode: strong or weak")
 	quiet := fs.Bool("q", false, "only set the exit status, print nothing")
 	jsonOut := fs.Bool("json", false, "emit all three verdicts as JSON")
 	stats := fs.Bool("stats", false, "print the phase tree (durations, automaton sizes) to stderr")
@@ -108,6 +111,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	sys, err := readSystem(*sysPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	switch *mode {
+	case "direct":
+	case "fair-abstract":
+		if *ltlText == "" || *homSpec == "" {
+			fmt.Fprintln(stderr, "rlcheck: -mode fair-abstract requires -ltl and -hom")
+			return 2
+		}
+		return runFairAbstract(checker, sys, *ltlText, *homSpec, *fairnessFlag, *jsonOut, *quiet, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "rlcheck: unknown -mode %q\n", *mode)
 		return 2
 	}
 	var property relive.Property
@@ -207,6 +222,67 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 	return 1
+}
+
+// runFairAbstract decides "all fair runs satisfy the property through
+// the homomorphism" — the fairness-within-abstraction verdict class.
+func runFairAbstract(checker *relive.Checker, sys *relive.System, ltlText, homSpec, fairnessName string, jsonOut, quiet bool, stdout, stderr io.Writer) int {
+	f, err := relive.ParseLTL(ltlText)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	h, err := relive.ParseHom(sys.Alphabet(), homSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	kind, err := relive.ParseFairnessKind(fairnessName)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	report, err := checker.CheckFairAbstract(sys, h, kind, f)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+	} else if !quiet {
+		if report.Holds {
+			suffix := ""
+			if report.Vacuous {
+				suffix = "  (vacuous: no infinite behavior)"
+			}
+			fmt.Fprintf(stdout, "%-18s HOLDS%s\n", "fair-abstract", suffix)
+		} else {
+			fmt.Fprintf(stdout, "%-18s FAILS  (violating fair run: %s (%s)^w -> abstract %s (%s)^w)\n",
+				"fair-abstract",
+				joinWords(report.ViolationPrefix), joinWords(report.ViolationLoop),
+				joinWords(report.AbstractPrefix), joinWords(report.AbstractLoop))
+		}
+	}
+	if report.Holds {
+		return 0
+	}
+	return 1
+}
+
+func joinWords(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
 }
 
 // writeTrace dumps the trace as JSON to path, with "-" meaning the

@@ -13,6 +13,8 @@ import (
 	"relive/internal/alphabet"
 	"relive/internal/core"
 	"relive/internal/genbase"
+	"relive/internal/kernel"
+	"relive/internal/ltl"
 	"relive/internal/nfa"
 	"relive/internal/oracle"
 	"relive/internal/serve"
@@ -246,6 +248,105 @@ func FuzzCheckAll(f *testing.F) {
 	})
 }
 
+// FuzzCheckFairAbstract drives the fairness-within-abstraction decision
+// on fuzzer-built (system, homomorphism, fairness notion, property)
+// quadruples: the verdict must be bit-identical across the three
+// kernels, every violation witness must be confirmed exactly by the
+// paper-literal oracle (a genuine fair run whose abstract image
+// violates η), and the verdict must be monotone under fairness
+// strengthening (Holds under weak fairness implies Holds under strong,
+// since strongly fair runs are a subset of weakly fair ones).
+func FuzzCheckFairAbstract(f *testing.F) {
+	f.Add("init s0\ns0 a s0\ns0 b s1\ns1 a s0\n", "a=>x, b=>", byte(0), "G F x")
+	f.Add("init s0\ns0 a s1\ns1 a s1\ns0 b s0\n", "a=>x, b=>y", byte(1), "F x")
+	f.Add("init idle\nidle request busy\nbusy result idle\nbusy reject idle\n",
+		"request=>req, result=>ok, reject=>", byte(0), "G F ok")
+	f.Fuzz(func(t *testing.T, sysText, homSpec string, fairByte byte, etaText string) {
+		if len(sysText) > 2048 || len(homSpec) > 256 || len(etaText) > 256 ||
+			countIffExpansions(etaText) > 4 {
+			return
+		}
+		sys, err := relive.ParseSystemString(sysText)
+		if err != nil || sys.NumStates() > 8 {
+			return
+		}
+		h, err := relive.ParseHom(sys.Alphabet(), homSpec)
+		if err != nil {
+			return
+		}
+		eta, err := relive.ParseLTL(etaText)
+		if err != nil || eta.Size() > 12 {
+			return
+		}
+		kind := relive.FairnessStrong
+		if fairByte%2 == 1 {
+			kind = relive.FairnessWeak
+		}
+		rep, err := relive.CheckFairAbstract(sys, h, kind, eta)
+		if err != nil {
+			return // η not in Σ'-normal form etc.
+		}
+
+		// Kernel bit-identity: the dispatched kernels may differ in work,
+		// never in the report.
+		p := core.FromFormula(eta, ltl.Canonical(h.Dest()))
+		want, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []kernel.Kind{kernel.Subset, kernel.Antichain} {
+			krep, kerr := core.CheckFairAbstractCtx(kernel.NewContext(nil, k), nil, sys, h, kind, p)
+			if kerr != nil {
+				t.Fatalf("kernel %v errored where auto succeeded: %v", k, kerr)
+			}
+			got, merr := json.Marshal(krep)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("kernel %v report differs:\nauto: %s\n%v:  %s\nsystem:\n%s\nhom: %s\nη: %s",
+					k, want, k, got, sys.FormatString(), h, eta)
+			}
+		}
+
+		// Witness confirmation by the paper-literal oracle.
+		okind := oracle.StronglyFair
+		if kind == relive.FairnessWeak {
+			okind = oracle.WeaklyFair
+		}
+		op := oracle.FromFormula(eta, ltl.Canonical(h.Dest()))
+		if !rep.Holds {
+			run := rep.Witness()
+			if run == nil {
+				t.Fatalf("violation without a witness run\nsystem:\n%s\nhom: %s\nη: %s",
+					sys.FormatString(), h, eta)
+			}
+			el := oracle.EdgeLasso{Prefix: run.Prefix, Loop: run.Loop}
+			ok, cerr := oracle.ConfirmFairAbstractViolation(sys, h, okind, op, el)
+			if cerr != nil || !ok {
+				t.Fatalf("witness not confirmed (err %v)\nsystem:\n%s\nhom: %s\nη: %s\nwitness: %v",
+					cerr, sys.FormatString(), h, eta, el)
+			}
+		}
+
+		// Monotonicity under fairness strengthening.
+		weakRep, err := relive.CheckFairAbstract(sys, h, relive.FairnessWeak, eta)
+		if err != nil {
+			return
+		}
+		if weakRep.Holds {
+			strongRep, err := relive.CheckFairAbstract(sys, h, relive.FairnessStrong, eta)
+			if err != nil {
+				t.Fatalf("strong check errored where weak succeeded: %v", err)
+			}
+			if !strongRep.Holds {
+				t.Fatalf("monotonicity violated: holds weakly but not strongly\nsystem:\n%s\nhom: %s\nη: %s",
+					sys.FormatString(), h, eta)
+			}
+		}
+	})
+}
+
 // FuzzRbarPreservation fuzzes the word-level Lemma 7.5: for η in
 // Σ'-normal form and every concrete lasso x with h(x) defined,
 // x ⊨_{λhΣΣ'} R̄(η) ⟺ h(x) ⊨_{λΣ'} η.
@@ -329,6 +430,8 @@ func FuzzServeRequest(f *testing.F) {
 	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","omega":"( a ) ^w"}`))
 	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","ltls":["G F a","F a"],"no_cache":true}`))
 	f.Add([]byte(`{"system":"init s0\ns0 a s0\ns0 b s1\ns1 a s0\n","hom":"a=>x, b=>","eta":"G F x"}`))
+	f.Add([]byte(`{"system":"init s0\ns0 a s0\ns0 b s1\ns1 a s0\n","hom":"a=>x, b=>","fairness":"strong","eta":"G F x"}`))
+	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","hom":"a=>x","fairness":"weak","eta":"F x","no_cache":true}`))
 	f.Add([]byte(`{"system":"init s0\ns0 a s0\n","ltl":"G a","timeout_ms":100}`))
 	f.Add([]byte(`{"system":"","ltl":""}`))
 	f.Add([]byte(`not json at all`))
@@ -367,6 +470,19 @@ func FuzzServeRequest(f *testing.F) {
 				t.Fatalf("abstraction decoder accepted invalid request: %q", data)
 			}
 			redecodeServe(t, req, func(b []byte) error { _, err := serve.DecodeAbstractionRequest(b); return err })
+		}
+		if req, err := serve.DecodeFairAbstractRequest(data); err == nil {
+			if req.System == "" || req.Hom == "" || req.Eta == "" {
+				t.Fatalf("fair-abstract decoder accepted invalid request: %q", data)
+			}
+			if req.Fairness != "strong" && req.Fairness != "weak" {
+				t.Fatalf("fair-abstract decoder accepted fairness %q: %q", req.Fairness, data)
+			}
+			redecodeServe(t, req, func(b []byte) error { _, err := serve.DecodeFairAbstractRequest(b); return err })
+			if len(req.System) <= 512 && len(req.Hom)+len(req.Eta) <= 128 {
+				req.TimeoutMS = 1000
+				serveOnce(t, handler, "/v1/check/fair-abstract", req)
+			}
 		}
 	})
 }

@@ -28,11 +28,11 @@ func PhaseOf(spanName string) string {
 	switch spanName {
 	case "lim(L)":
 		return PhaseTrim
-	case "P→Büchi", "¬P":
+	case "P→Büchi", "¬P", "h⁻¹(¬P)":
 		return PhaseProperty
-	case "pre(L∩P)":
+	case "pre(L∩P)", "pre(L∩h⁻¹(¬P))":
 		return PhasePre
-	case "pre(L) ⊆ pre(L∩P)", "L ∩ lim(pre(L∩P)) ⊆ P", "L ∩ ¬P = ∅":
+	case "pre(L) ⊆ pre(L∩P)", "L ∩ lim(pre(L∩P)) ⊆ P", "L ∩ ¬P = ∅", "fair(L∩h⁻¹(¬P))":
 		return PhaseEmptiness
 	}
 	return ""

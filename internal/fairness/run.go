@@ -82,6 +82,9 @@ func (r Run) Word() word.Lasso {
 // IsStronglyFair reports whether the run is strongly transition-fair: a
 // transition enabled infinitely often (its source state is visited by
 // the loop) must be taken infinitely often (it occurs in the loop).
+// Obligations come from the trimmed system: a transition into a
+// dead-end state can never be taken by an infinite run and so imposes
+// none — fairness is evaluated after trimming, matching ExistsFairRun.
 func (r Run) IsStronglyFair(sys *ts.System) bool {
 	loopStates := map[ts.State]bool{}
 	for _, e := range r.Loop {
@@ -91,7 +94,11 @@ func (r Run) IsStronglyFair(sys *ts.System) bool {
 	for _, e := range r.Loop {
 		taken[e] = true
 	}
+	alive := aliveStates(sys)
 	for _, e := range sys.Edges() {
+		if !alive[e.From] || !alive[e.To] {
+			continue // trimmed away: no obligation
+		}
 		if loopStates[e.From] && !taken[e] {
 			return false
 		}
@@ -102,7 +109,8 @@ func (r Run) IsStronglyFair(sys *ts.System) bool {
 // IsWeaklyFair reports whether the run is weakly transition-fair: a
 // transition continuously enabled from some point on (which, with
 // state-based enabledness, requires the loop to sit at its source state
-// only) must be taken infinitely often.
+// only) must be taken infinitely often. As with IsStronglyFair,
+// obligations are restricted to transitions surviving the trim.
 func (r Run) IsWeaklyFair(sys *ts.System) bool {
 	loopStates := map[ts.State]bool{}
 	for _, e := range r.Loop {
@@ -119,10 +127,47 @@ func (r Run) IsWeaklyFair(sys *ts.System) bool {
 	for _, e := range r.Loop {
 		taken[e] = true
 	}
+	alive := aliveStates(sys)
 	for _, e := range sys.Edges() {
+		if !alive[e.From] || !alive[e.To] {
+			continue // trimmed away: no obligation
+		}
 		if e.From == only && !taken[e] {
 			return false
 		}
 	}
 	return true
+}
+
+// aliveStates computes, as a greatest fixpoint by repeated deletion,
+// the states with at least one infinite continuation — the states that
+// survive trimming (reachability aside, which is irrelevant for the
+// obligations of a run: it only visits reachable states).
+func aliveStates(sys *ts.System) []bool {
+	n := sys.NumStates()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	edges := sys.Edges()
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			has := false
+			for _, e := range edges {
+				if int(e.From) == v && alive[e.To] {
+					has = true
+					break
+				}
+			}
+			if !has {
+				alive[v] = false
+				changed = true
+			}
+		}
+	}
+	return alive
 }

@@ -66,8 +66,12 @@ func (s *Scheduler) Step() (ts.Edge, bool) {
 }
 
 // Trace runs the scheduler for n steps and returns the edges taken; the
-// trace is shorter when a dead end is reached.
+// trace is shorter when a dead end is reached. A non-positive budget
+// yields an empty trace.
 func (s *Scheduler) Trace(n int) []ts.Edge {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]ts.Edge, 0, n)
 	for i := 0; i < n; i++ {
 		e, ok := s.Step()

@@ -1,0 +1,85 @@
+package fairness
+
+import (
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/ts"
+)
+
+// TestSchedulerFairChoiceEntersDeadEnd pins the scheduler's documented
+// dead-end behavior: the longest-waiting rule does not avoid dead ends.
+// At a state with a live self-loop and an edge into a dead end, the
+// dead edge has waited longest by step two, the scheduler takes it, and
+// the trace truncates there — callers who need infinite executions must
+// trim first (exactly the trim-before-fairness contract the decision
+// procedures follow).
+func TestSchedulerFairChoiceEntersDeadEnd(t *testing.T) {
+	ab := alphabet.FromNames("stay", "leave")
+	sys := ts.New(ab)
+	sys.AddEdge("s0", "stay", "s0")
+	sys.AddEdge("s0", "leave", "dead")
+	init, _ := sys.LookupState("s0")
+	sys.SetInitial(init)
+
+	s, err := NewScheduler(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := s.Trace(100)
+	if len(trace) >= 100 {
+		t.Fatalf("trace of length %d never entered the dead end", len(trace))
+	}
+	last := trace[len(trace)-1]
+	if ab.Name(last.Sym) != "leave" {
+		t.Fatalf("trace ended on %s, want the leave edge", ab.Name(last.Sym))
+	}
+	// Both edges were exercised before the dead end: the untaken leave
+	// edge waits at -1, so it is chosen no later than the second step.
+	if len(trace) > 2 {
+		t.Fatalf("leave edge starved for %d steps under the longest-waiting rule", len(trace))
+	}
+	if _, ok := s.Step(); ok {
+		t.Fatal("Step succeeded at the dead end")
+	}
+	if dead, _ := sys.LookupState("dead"); s.Current() != dead {
+		t.Fatalf("scheduler parked at %v, want the dead state", s.Current())
+	}
+
+	// On the trimmed system the dead end is gone and the same scheduler
+	// strategy runs forever.
+	trimmed, err := sys.Trim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := NewScheduler(trimmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ts2.Trace(100)); got != 100 {
+		t.Fatalf("trimmed system's trace stopped after %d steps", got)
+	}
+}
+
+// TestSchedulerZeroAndNegativeTrace: Trace with a non-positive budget
+// is empty and does not advance the scheduler.
+func TestSchedulerZeroAndNegativeTrace(t *testing.T) {
+	ab := alphabet.FromNames("a")
+	sys := ts.New(ab)
+	sys.AddEdge("s0", "a", "s0")
+	init, _ := sys.LookupState("s0")
+	sys.SetInitial(init)
+	s, err := NewScheduler(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Trace(0); len(got) != 0 {
+		t.Fatalf("Trace(0) returned %d edges", len(got))
+	}
+	if got := s.Trace(-3); len(got) != 0 {
+		t.Fatalf("Trace(-3) returned %d edges", len(got))
+	}
+	if s.Current() != init {
+		t.Fatal("empty trace moved the scheduler")
+	}
+}

@@ -1,10 +1,13 @@
 package fairness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"relive/internal/buchi"
 	"relive/internal/graph"
+	"relive/internal/interrupt"
 	"relive/internal/ts"
 )
 
@@ -21,22 +24,50 @@ const (
 // whose action word is accepted by prop. It returns a witness run when
 // one exists.
 //
-// The search works on the product of the system's edge graph with prop:
-// a vertex means "the system just took edge e and prop is in state b".
-// Strong transition fairness is a Streett condition — one pair per
-// system edge t, with E_t = vertices at t's source state and F_t =
-// vertices that just took t — plus the Büchi pair (all vertices, prop
-// accepting). Emptiness uses the classic SCC-restriction algorithm: an
-// SCC violating a pair is shrunk by removing that pair's E-vertices and
-// re-decomposed. A fair lasso is then stitched through one witness SCC.
+// Fairness is evaluated on the trimmed system: the system is trimmed
+// before the search, so transitions into dead-end states (which no
+// infinite run can take) and transitions of unreachable states impose
+// no fairness obligations. Run.IsStronglyFair and Run.IsWeaklyFair use
+// the same convention, so witnesses always validate against it.
+//
+// The search works on the product of the trimmed system's edge graph
+// with prop: a vertex means "the system just took edge e and prop is in
+// state b". Strong transition fairness is a Streett condition — one
+// pair per system edge t, with E_t = vertices at t's source state and
+// F_t = vertices that just took t — plus the Büchi pair (all vertices,
+// prop accepting). Emptiness uses the classic SCC-restriction
+// algorithm: an SCC violating a pair is shrunk by removing that pair's
+// E-vertices and re-decomposed. A fair lasso is then stitched through
+// one witness SCC and mapped back to the original system's states.
 func ExistsFairRun(sys *ts.System, prop *buchi.Buchi, kind Kind) (Run, bool, error) {
+	return ExistsFairRunCtx(nil, sys, prop, kind)
+}
+
+// ExistsFairRunCtx is ExistsFairRun with cooperative cancellation
+// checkpoints in the trim and the product exploration. A nil ctx never
+// cancels; a context error is returned as-is (wrapped), never conflated
+// with the "no fair run" verdict.
+func ExistsFairRunCtx(ctx context.Context, sys *ts.System, prop *buchi.Buchi, kind Kind) (Run, bool, error) {
 	if sys.Initial() < 0 {
 		return Run{}, false, fmt.Errorf("fairness: system has no initial state")
 	}
 	if kind != Strong && kind != Weak {
 		return Run{}, false, fmt.Errorf("fairness: unknown fairness kind %d", int(kind))
 	}
-	g, err := buildProduct(sys, prop)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Run{}, false, fmt.Errorf("fairness: %w", err)
+		}
+	}
+	// Trim first: fairness obligations come from the trimmed system only.
+	trimmed, err := sys.TrimCtx(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Run{}, false, fmt.Errorf("fairness: %w", err)
+		}
+		return Run{}, false, nil // no infinite behavior: no infinite run at all
+	}
+	g, err := buildProduct(ctx, trimmed, prop)
 	if err != nil || len(g.verts) == 0 {
 		return Run{}, false, err
 	}
@@ -48,7 +79,26 @@ func ExistsFairRun(sys *ts.System, prop *buchi.Buchi, kind Kind) (Run, bool, err
 	if !ok {
 		return Run{}, false, nil
 	}
-	return g.stitchRun(comp), true, nil
+	return mapRunByName(g.stitchRun(comp), trimmed, sys), true, nil
+}
+
+// mapRunByName rewrites a run over the trimmed system into the original
+// system's state identifiers. Trimming preserves state names, so the
+// lookup is total on witness runs.
+func mapRunByName(r Run, trimmed, orig *ts.System) Run {
+	conv := func(es []ts.Edge) []ts.Edge {
+		if es == nil {
+			return nil
+		}
+		out := make([]ts.Edge, len(es))
+		for i, e := range es {
+			from, _ := orig.LookupState(trimmed.StateName(e.From))
+			to, _ := orig.LookupState(trimmed.StateName(e.To))
+			out[i] = ts.Edge{From: from, Sym: e.Sym, To: to}
+		}
+		return out
+	}
+	return Run{Prefix: conv(r.Prefix), Loop: conv(r.Loop)}
 }
 
 // product is the exploration graph of (system edge, property state)
@@ -67,11 +117,12 @@ type prodVertex struct {
 	b buchi.State
 }
 
-func buildProduct(sys *ts.System, prop *buchi.Buchi) (*product, error) {
+func buildProduct(ctx context.Context, sys *ts.System, prop *buchi.Buchi) (*product, error) {
 	g := &product{sys: sys, prop: prop, edges: sys.Edges()}
 	if len(g.edges) == 0 {
 		return g, nil
 	}
+	var tick interrupt.Tick
 	index := map[prodVertex]int{}
 	intern := func(k prodVertex) int {
 		if i, ok := index[k]; ok {
@@ -105,6 +156,9 @@ func buildProduct(sys *ts.System, prop *buchi.Buchi) (*product, error) {
 		}
 	}
 	for qi := 0; qi < len(queue); qi++ {
+		if err := tick.Poll(ctx); err != nil {
+			return nil, fmt.Errorf("fairness: %w", err)
+		}
 		vi := queue[qi]
 		k := g.verts[vi]
 		for _, ei := range succsByState[g.edges[k.e].To] {

@@ -1,0 +1,91 @@
+package hom
+
+import (
+	"testing"
+
+	"relive/internal/alphabet"
+	"relive/internal/nfa"
+	"relive/internal/word"
+)
+
+// Edge cases of the {#}*-extension: the empty language (nothing to
+// extend — and nothing to crash on) and an ε-only homomorphic image
+// (every letter hidden), where ε itself is the maximal word.
+
+// TestExtendMaximalWordsEmptyLanguage: L = ∅ in both shapes — an
+// automaton with no initial state and one whose accepting states are
+// unreachable (trim empties it). The extension is the empty language
+// again, and HasMaximalWords finds nothing.
+func TestExtendMaximalWordsEmptyLanguage(t *testing.T) {
+	src := alphabet.FromNames("a", "b")
+	h := Identity(src, "a", "b")
+
+	noInit := nfa.New(src)
+	noInit.AddState(true)
+	if has, w := h.HasMaximalWords(noInit); has {
+		t.Fatalf("empty language has maximal word %v", w)
+	}
+	ext := h.ExtendMaximalWords(noInit)
+	if has, w := ext.HasMaximalWords(); has {
+		t.Fatalf("extension of empty language has maximal word %v", w)
+	}
+
+	unreachable := nfa.New(src)
+	q0 := unreachable.AddState(false)
+	unreachable.AddState(true) // no transition leads here
+	unreachable.SetInitial(q0)
+	if has, w := h.HasMaximalWords(unreachable); has {
+		t.Fatalf("trim-empty language has maximal word %v", w)
+	}
+	ext = h.ExtendMaximalWords(unreachable)
+	sa, _ := src.Lookup("a")
+	if ext.Accepts(word.Word{}) || ext.Accepts(word.Word{sa}) {
+		t.Fatal("extension of an empty language accepts a word")
+	}
+}
+
+// TestExtendMaximalWordsEpsilonOnlyHom: h hides every letter, so
+// h(L) = {ε} for any nonempty L. ε is maximal (it is not a proper
+// prefix of any other word of h(L)); the extension turns it into #*,
+// after which no maximal words remain.
+func TestExtendMaximalWordsEpsilonOnlyHom(t *testing.T) {
+	src := alphabet.FromNames("a", "b")
+	dst := alphabet.FromNames()
+	h := New(src, dst)
+	h.SetByName("a", "")
+	h.SetByName("b", "")
+
+	a := nfa.New(src)
+	q0 := a.AddState(true)
+	sa, _ := src.Lookup("a")
+	sb, _ := src.Lookup("b")
+	a.AddTransition(q0, sa, q0)
+	a.AddTransition(q0, sb, q0)
+	a.SetInitial(q0)
+
+	has, w := h.HasMaximalWords(a)
+	if !has {
+		t.Fatal("ε-only image has no maximal word; ε itself is maximal")
+	}
+	if len(w) != 0 {
+		t.Fatalf("maximal word of {ε} is %v, want ε", w)
+	}
+
+	ext := h.ExtendMaximalWords(a)
+	hash, ok := ext.Alphabet().Lookup(HashName)
+	if !ok {
+		t.Fatal("extension did not intern #")
+	}
+	for n := 0; n <= 3; n++ {
+		w := make(word.Word, n)
+		for i := range w {
+			w[i] = hash
+		}
+		if !ext.Accepts(w) {
+			t.Fatalf("extension rejects #^%d", n)
+		}
+	}
+	if has, w := ext.HasMaximalWords(); has {
+		t.Fatalf("extended ε-only language still has maximal word %v", w)
+	}
+}

@@ -138,6 +138,18 @@ func clusterBattery() []struct {
 			Hom:    "request=>request, result=>result, reject=>reject, accept=>, deny=>",
 			Eta:    "G F ( result | reject )",
 		}},
+		{"fair-abstract", serve.FairAbstractRequest{
+			System:   serverText,
+			Hom:      "request=>req, result=>ok, reject=>",
+			Fairness: "strong",
+			Eta:      "G F ok",
+		}},
+		{"fair-abstract", serve.FairAbstractRequest{
+			System:   serverText,
+			Hom:      "request=>req, result=>ok, reject=>",
+			Fairness: "weak",
+			Eta:      "G F ok",
+		}},
 	}
 	// A few extra systems so the ring has several placement keys to
 	// spread — without them every check lands on one backend.

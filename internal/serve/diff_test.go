@@ -1,6 +1,8 @@
 package serve_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -9,6 +11,7 @@ import (
 
 	"relive/internal/alphabet"
 	"relive/internal/core"
+	"relive/internal/fairness"
 	"relive/internal/gen"
 	"relive/internal/ltl"
 	"relive/internal/oracle"
@@ -77,9 +80,90 @@ func TestServeDifferentialAgainstOracle(t *testing.T) {
 		if msg := endpointsDisagree(t, baseURL, sys, f, rep); msg != "" {
 			t.Fatalf("%s\n%s", desc, msg)
 		}
+		if msg := fairAbstractDisagreement(t, baseURL, rng, sys); msg != "" {
+			t.Fatalf("%s\n%s", desc, msg)
+		}
 		checked++
 	}
 	t.Logf("checked %d randomized bodies (%d tableau skips)", checked, skipped)
+}
+
+// fairAbstractDisagreement runs the fair-abstract leg of the service
+// differential on a randomized (hom, fairness, η) triple over sys: the
+// served body must be byte-identical to a direct core check, a Holds
+// verdict must survive the oracle's bounded fair-lasso enumeration, and
+// a Fails verdict's witness must be oracle-confirmed exactly.
+func fairAbstractDisagreement(t *testing.T, baseURL string, rng *rand.Rand, sys *ts.System) string {
+	t.Helper()
+	// Round-trip through the wire format first: it drops isolated
+	// states, and the local report must describe exactly the system the
+	// server parses.
+	wire, err := ts.ParseString(sys.FormatString())
+	if err != nil {
+		return fmt.Sprintf("reparse wire system: %v", err)
+	}
+	sys = wire
+	h := gen.Hom(rng, sys.Alphabet(), 0.3)
+	if len(h.Dest().Names()) == 0 {
+		return "" // ε-only image: no abstract alphabet to write η over
+	}
+	eta := gen.Formula(rng, h.Dest().Names(), 1+rng.Intn(2))
+	kind := fairness.Strong
+	okind := oracle.StronglyFair
+	if rng.Intn(2) == 1 {
+		kind, okind = fairness.Weak, oracle.WeaklyFair
+	}
+	local, err := core.CheckFairAbstract(sys, h, kind,
+		core.FromFormula(eta, ltl.Canonical(h.Dest())))
+	if err != nil {
+		return "" // Σ'-normal-form rejection; the wire answers 500 consistently
+	}
+
+	status, _, body := postJSON(t, baseURL+"/v1/check/fair-abstract", serve.FairAbstractRequest{
+		System:   sys.FormatString(),
+		Hom:      h.String(),
+		Fairness: core.FairnessKindName(kind),
+		Eta:      eta.String(),
+	})
+	if status != http.StatusOK {
+		return fmt.Sprintf("fair-abstract (hom %s, %s, η %s): status %d: %s",
+			h, core.FairnessKindName(kind), eta, status, body)
+	}
+	want, err := json.Marshal(local)
+	if err != nil {
+		return fmt.Sprintf("marshal local fair-abstract report: %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(body), want) {
+		return fmt.Sprintf("served fair-abstract body differs from the direct core check\nserved: %s\nlocal:  %s", body, want)
+	}
+
+	op := oracle.FromFormula(eta, ltl.Canonical(h.Dest()))
+	bounds := oracle.Bounds{WordLen: 5, LassoPrefix: 2, LassoLoop: 4}
+	if local.Holds {
+		el, found, err := oracle.FairAbstractViolation(sys, h, okind, op, bounds)
+		if err != nil {
+			return fmt.Sprintf("oracle.FairAbstractViolation: %v", err)
+		}
+		if found {
+			return fmt.Sprintf("served fair-abstract holds=true (hom %s, %s, η %s) but oracle found fair violation %s",
+				h, core.FairnessKindName(kind), eta, el.Word().String(sys.Alphabet()))
+		}
+	} else {
+		run := local.Witness()
+		if run == nil {
+			return "served fair-abstract holds=false without a witness run"
+		}
+		ok, err := oracle.ConfirmFairAbstractViolation(sys, h, okind, op,
+			oracle.EdgeLasso{Prefix: run.Prefix, Loop: run.Loop})
+		if err != nil {
+			return fmt.Sprintf("ConfirmFairAbstractViolation: %v", err)
+		}
+		if !ok {
+			return fmt.Sprintf("fair-abstract witness (hom %s, %s, η %s) not confirmed by the oracle",
+				h, core.FairnessKindName(kind), eta)
+		}
+	}
+	return ""
 }
 
 // oracleDisagreement compares one served report with the bounded

@@ -124,6 +124,7 @@ func (s *Server) routes() {
 		})))
 	s.mux.HandleFunc("POST /v1/check/portfolio", s.traced("portfolio", true, s.handlePortfolio))
 	s.mux.HandleFunc("POST /v1/check/abstraction", s.traced("abstraction", true, s.handleAbstraction))
+	s.mux.HandleFunc("POST /v1/check/fair-abstract", s.traced("fair-abstract", true, s.handleFairAbstract))
 	s.mux.HandleFunc("GET /healthz", s.traced("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.traced("metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/checks", s.traced("debug", false, s.handleDebugChecks))
@@ -421,6 +422,93 @@ func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
 		resp.Transformed = rep.Transformed.String()
 	}
 	s.finish(w, r, rkey, resp, req.NoCache)
+}
+
+// handleFairAbstract decides fairness within abstraction: every fair
+// run of the system (strong or weak transition fairness, evaluated on
+// the trimmed system) satisfies Eta through Hom. The response body is
+// the core.FairAbstractReport itself, so report-cache and store replays
+// are bit-identical to the cold run by construction. Unlike the plain
+// abstraction route this check is context-plumbed end to end, and its
+// system cells come from the structural-hash system LRU, so the trimmed
+// system is shared with every other endpoint.
+func (s *Server) handleFairAbstract(w http.ResponseWriter, r *http.Request) {
+	obs.Count(s.tr, "serve.requests", 1)
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	req, err := DecodeFairAbstractRequest(body)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	sysKey, sc, err := s.resolveSystem(req.System)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	h, err := hom.Parse(sc.System().Alphabet(), req.Hom)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	kind, err := core.ParseFairnessKind(req.Fairness)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	eta, err := ltl.Parse(req.Eta)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	rkey := hashKey("fair-abstract", sysKey, req.Hom, req.Fairness, eta.String())
+	ri := reqFrom(r.Context())
+	if ri != nil {
+		ri.hash = rkey
+	}
+	if !req.NoCache {
+		if cached, ok := s.reports.Get(rkey); ok {
+			obs.Count(s.tr, "serve.cache.report_hits", 1)
+			s.noteCachePath(ri, cachePathReportHit, true)
+			writeCached(w, cached, true)
+			return
+		}
+		if cached, ok := s.storeGetReport(rkey); ok {
+			s.noteCachePath(ri, cachePathStoreHit, true)
+			writeCached(w, cached, true)
+			return
+		}
+	}
+	// No per-(system, hom, fairness, eta) artifact cache yet; past the
+	// report cache only the system cells (trimmed system) are reused.
+	s.noteCachePath(ri, cachePathMiss, false)
+	release, status, aerr := s.admit(r.Context())
+	if aerr != nil || status != 0 {
+		s.writeAdmissionFailure(w, r, status, aerr)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer release()
+
+	ctx, cancel := s.checkContext(r, req.TimeoutMS)
+	defer cancel()
+	rec := s.recorder(r.Context())
+	sp := obs.StartSpan(rec, "serve.fair-abstract")
+	rep, err := core.CheckFairAbstractCells(ctx, rec, sc, h, kind,
+		core.FromFormula(eta, ltl.Canonical(h.Dest())))
+	if err != nil {
+		sp.Tag("outcome", s.outcome(err))
+		sp.End()
+		s.writeCheckError(w, r, err)
+		return
+	}
+	sp.Tag("outcome", "ok")
+	sp.End()
+	s.finish(w, r, rkey, rep, req.NoCache)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -371,6 +371,25 @@ func routeKeyFor(endpoint string, body []byte) (routeKey, error) {
 			timeoutMS: req.TimeoutMS,
 			noCache:   req.NoCache,
 		}, nil
+	case "fair-abstract":
+		req, err := DecodeFairAbstractRequest(body)
+		if err != nil {
+			return routeKey{}, err
+		}
+		sysKey, err := systemKey(req.System)
+		if err != nil {
+			return routeKey{}, err
+		}
+		eta, err := ltl.Parse(req.Eta)
+		if err != nil {
+			return routeKey{}, err
+		}
+		return routeKey{
+			rkey:      hashKey("fair-abstract", sysKey, req.Hom, req.Fairness, eta.String()),
+			sysKey:    sysKey,
+			timeoutMS: req.TimeoutMS,
+			noCache:   req.NoCache,
+		}, nil
 	}
 	return routeKey{}, errUnknownEndpoint
 }

@@ -121,6 +121,39 @@ func TestRouteKeyMirrorsBackendKeys(t *testing.T) {
 		t.Fatalf("abstraction: router rkey %q != backend %q", rk.rkey, want)
 	}
 
+	// Fair-abstract: hashKey("fair-abstract", sysKey, raw hom, fairness,
+	// canonical η) — recomputed here exactly as handleFairAbstract does.
+	// The fairness notion is part of the key, so strong and weak requests
+	// never coalesce into one another.
+	faHom := "request=>req, result=>ok, reject=>"
+	faEta := "G F ( ok )"
+	body, _ = json.Marshal(FairAbstractRequest{System: sysText, Hom: faHom, Fairness: "strong", Eta: faEta})
+	rk, err = routeKeyFor("fair-abstract", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faParsed, err := ltl.Parse(faEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := hashKey("fair-abstract", sysKey, faHom, "strong", faParsed.String()); rk.rkey != want {
+		t.Fatalf("fair-abstract: router rkey %q != backend %q", rk.rkey, want)
+	}
+	body, _ = json.Marshal(FairAbstractRequest{System: sysText, Hom: faHom, Fairness: "weak", Eta: faEta})
+	weakRK, err := routeKeyFor("fair-abstract", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weakRK.rkey == rk.rkey {
+		t.Fatal("strong and weak fair-abstract requests collided on one route key")
+	}
+	if weakRK.sysKey != rk.sysKey {
+		t.Fatal("same system got different placement keys for different fairness notions")
+	}
+	if _, err := routeKeyFor("fair-abstract", []byte(`{"system":"init s\ns a s\n","hom":"a=>x","fairness":"fair","eta":"G x"}`)); err == nil {
+		t.Fatal("invalid fairness notion accepted by the router")
+	}
+
 	// Canonicalization: a differently-spelled but structurally identical
 	// system (extra blank lines, reordered transitions format the same)
 	// and formula spelling share one key; a different formula does not.

@@ -79,6 +79,22 @@ type AbstractionRequest struct {
 	NoCache   bool   `json:"no_cache,omitempty"`
 }
 
+// FairAbstractRequest is the body of /v1/check/fair-abstract: decide
+// whether every fair run of the system satisfies Eta through Hom
+// (fairness within behavior abstraction).
+type FairAbstractRequest struct {
+	System string `json:"system"`
+	// Hom is an abstracting homomorphism as "a=>x, b=>" mapping lines;
+	// empty targets hide letters.
+	Hom string `json:"hom"`
+	// Fairness selects the notion: "strong" or "weak".
+	Fairness string `json:"fairness"`
+	// Eta is the abstract PLTL property in Σ'-normal form.
+	Eta       string `json:"eta"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -187,6 +203,40 @@ func DecodeAbstractionRequest(data []byte) (*AbstractionRequest, error) {
 	}
 	if len(req.Hom) > maxPropertyBytes {
 		return nil, fmt.Errorf("hom text exceeds %d bytes", maxPropertyBytes)
+	}
+	if req.Eta == "" {
+		return nil, fmt.Errorf("\"eta\" is required")
+	}
+	if err := validatePropertyText(req.Eta); err != nil {
+		return nil, err
+	}
+	if err := validateTimeout(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeFairAbstractRequest parses and validates a fair-abstract
+// request body.
+func DecodeFairAbstractRequest(data []byte) (*FairAbstractRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var req FairAbstractRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSystemText(req.System); err != nil {
+		return nil, err
+	}
+	if req.Hom == "" {
+		return nil, fmt.Errorf("\"hom\" is required")
+	}
+	if len(req.Hom) > maxPropertyBytes {
+		return nil, fmt.Errorf("hom text exceeds %d bytes", maxPropertyBytes)
+	}
+	if req.Fairness != "strong" && req.Fairness != "weak" {
+		return nil, fmt.Errorf("\"fairness\" must be \"strong\" or \"weak\"")
 	}
 	if req.Eta == "" {
 		return nil, fmt.Errorf("\"eta\" is required")

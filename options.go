@@ -7,6 +7,7 @@ import (
 
 	"relive/internal/core"
 	"relive/internal/kernel"
+	"relive/internal/ltl"
 	"relive/internal/obs"
 )
 
@@ -266,4 +267,15 @@ func (c *Checker) SynthesizeFairImplementation(sys *System, f *Formula) (*FairIm
 // the Checker's options applied.
 func (c *Checker) VerifyViaAbstraction(sys *System, h *Hom, eta *Formula) (*AbstractionReport, error) {
 	return core.VerifyViaAbstractionRec(c.rec, sys, h, eta)
+}
+
+// CheckFairAbstract is the package-level CheckFairAbstract with the
+// Checker's options applied. The verdict and report are identical under
+// every kernel choice.
+func (c *Checker) CheckFairAbstract(sys *System, h *Hom, kind FairnessKind, eta *Formula) (*FairAbstractReport, error) {
+	p := core.FromFormula(eta, ltl.Canonical(h.Dest()))
+	if c.kernSet || c.simCapSet {
+		return core.CheckFairAbstractCtx(c.kernelCtx(nil), c.rec, sys, h, kind, p)
+	}
+	return core.CheckFairAbstractRec(c.rec, sys, h, kind, p)
 }

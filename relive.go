@@ -70,6 +70,21 @@ type (
 	AbstractionReport = core.AbstractionReport
 	// Conclusion classifies what an abstraction-based check proved.
 	Conclusion = core.Conclusion
+	// FairnessKind selects a fairness notion for the fair checks.
+	FairnessKind = fairness.Kind
+	// FairAbstractReport is the outcome of a fairness-within-abstraction
+	// check (CheckFairAbstract).
+	FairAbstractReport = core.FairAbstractReport
+)
+
+// Fairness notions.
+const (
+	// FairnessStrong: transitions enabled infinitely often are taken
+	// infinitely often.
+	FairnessStrong = fairness.Strong
+	// FairnessWeak: transitions continuously enabled are taken
+	// infinitely often.
+	FairnessWeak = fairness.Weak
 )
 
 // Abstraction conclusions (Corollary 8.4).
@@ -208,6 +223,24 @@ func SynthesizeFairImplementation(sys *System, f *Formula) (*FairImplementation,
 func AllStronglyFairRunsSatisfy(sys *System, f *Formula) (bool, *Run, error) {
 	return core.AllStronglyFairRunsSatisfy(sys, core.FromFormula(f, nil))
 }
+
+// AllFairRunsSatisfy checks whether every kind-fair run of sys
+// satisfies f, returning a violating fair run otherwise.
+func AllFairRunsSatisfy(sys *System, f *Formula, kind FairnessKind) (bool, *Run, error) {
+	return core.AllFairRunsSatisfy(sys, core.FromFormula(f, nil), kind)
+}
+
+// CheckFairAbstract decides whether all kind-fair runs of sys satisfy
+// eta through h — the fairness-within-abstraction verdict combining
+// the Theorem 5.1 fair-emptiness machinery with the Sections 6–8
+// abstraction constructions. eta must be in Σ'-normal form over h's
+// destination alphabet.
+func CheckFairAbstract(sys *System, h *Hom, kind FairnessKind, eta *Formula) (*FairAbstractReport, error) {
+	return core.CheckFairAbstract(sys, h, kind, core.FromFormula(eta, ltl.Canonical(h.Dest())))
+}
+
+// ParseFairnessKind parses "strong" or "weak".
+func ParseFairnessKind(s string) (FairnessKind, error) { return core.ParseFairnessKind(s) }
 
 // VerifyViaAbstraction runs the paper's abstraction method end to end:
 // abstract sys under h, check that eta (in Σ'-normal form over h's
