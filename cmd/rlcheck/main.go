@@ -39,9 +39,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	ltlText := fs.String("ltl", "", "PLTL property, e.g. \"G F result\" or \"□◇result\"")
 	omegaText := fs.String("omega", "", "ω-regular property \"U ( V ) ^w\" instead of -ltl")
 	check := fs.String("check", "all", "which check to run: rl, rs, sat, or all")
-	mode := fs.String("mode", "direct", "direct (Section 4 checks) or fair-abstract (all fair runs satisfy -ltl through -hom)")
+	mode := fs.String("mode", "direct", "direct (Section 4 checks), fair-abstract (all fair runs satisfy -ltl through -hom), or statistical (sampled confidence-interval verdict)")
 	homSpec := fs.String("hom", "", "abstracting homomorphism \"a=>x, b=>\" (fair-abstract mode)")
 	fairnessFlag := fs.String("fairness", "strong", "fairness notion for fair-abstract mode: strong or weak")
+	seed := fs.Int64("seed", 0, "statistical mode: sampling seed (same seed + budget replays byte-identically)")
+	samples := fs.Int("samples", 0, "statistical mode: number of random walks (0 = default 400)")
+	steps := fs.Int("steps", 0, "statistical mode: steps per walk (0 = default 256)")
+	confidence := fs.Float64("confidence", 0, "statistical mode: two-sided CI level (0 = default 0.99)")
 	quiet := fs.Bool("q", false, "only set the exit status, print nothing")
 	jsonOut := fs.Bool("json", false, "emit all three verdicts as JSON")
 	stats := fs.Bool("stats", false, "print the phase tree (durations, automaton sizes) to stderr")
@@ -121,6 +125,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 2
 		}
 		return runFairAbstract(checker, sys, *ltlText, *homSpec, *fairnessFlag, *jsonOut, *quiet, stdout, stderr)
+	case "statistical":
+		sopts := []relive.Option{
+			relive.WithSeed(*seed),
+			relive.WithSampleBudget(*samples, *steps),
+			relive.WithConfidence(*confidence),
+		}
+		if trace != nil {
+			sopts = append(sopts, relive.WithRecorder(trace))
+		}
+		return runStatistical(relive.With(sopts...), sys, *ltlText, *omegaText, *jsonOut, *quiet, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rlcheck: unknown -mode %q\n", *mode)
 		return 2
@@ -266,6 +280,66 @@ func runFairAbstract(checker *relive.Checker, sys *relive.System, ltlText, homSp
 				"fair-abstract",
 				joinWords(report.ViolationPrefix), joinWords(report.ViolationLoop),
 				joinWords(report.AbstractPrefix), joinWords(report.AbstractLoop))
+		}
+	}
+	if report.Holds {
+		return 0
+	}
+	return 1
+}
+
+// runStatistical runs the sampling engine: a confidence-interval
+// verdict ("holds" is CI-bounded, never exact; "fails" carries a sound
+// sampled counterexample; "inconclusive" means no walk settled within
+// the step budget). Exit status: 0 holds, 1 fails or inconclusive.
+func runStatistical(checker *relive.Checker, sys *relive.System, ltlText, omegaText string, jsonOut, quiet bool, stdout, stderr io.Writer) int {
+	var property relive.Property
+	if ltlText != "" {
+		f, err := relive.ParseLTL(ltlText)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		property = relive.PropertyFromLTL(f, nil)
+	} else {
+		b, err := relive.ParseOmegaRegex(sys.Alphabet(), omegaText)
+		if err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+		property = relive.PropertyFromBuchi(b)
+	}
+	report, err := checker.CheckStatisticalProperty(sys, property)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "rlcheck: %v\n", err)
+			return 2
+		}
+	} else if !quiet {
+		switch report.Verdict {
+		case relive.StatVerdictHolds:
+			suffix := ""
+			if report.Vacuous {
+				suffix = "  (vacuous: no infinite behavior)"
+			} else {
+				suffix = fmt.Sprintf("  (statistical: %d/%d samples, P >= %.4f at %.0f%% confidence)",
+					report.Hits, report.Settled, report.CILow, report.Confidence*100)
+			}
+			fmt.Fprintf(stdout, "%-18s HOLDS%s\n", "statistical", suffix)
+		case relive.StatVerdictFails:
+			fmt.Fprintf(stdout, "%-18s FAILS  (sampled counterexample: %s (%s)^w; estimate %.4f in [%.4f, %.4f])\n",
+				"statistical",
+				joinWords(report.Counterexample), joinWords(report.CounterexampleLoop),
+				report.Estimate, report.CILow, report.CIHigh)
+		default:
+			fmt.Fprintf(stdout, "%-18s INCONCLUSIVE  (no walk settled within %d steps; raise -steps)\n",
+				"statistical", report.Steps)
 		}
 	}
 	if report.Holds {

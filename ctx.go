@@ -47,13 +47,19 @@ func CheckSatisfiesCtx(ctx context.Context, sys *System, f *Formula) (Satisfacti
 
 // CheckAllCtx is the Checker's CheckAll with cooperative cancellation;
 // under WithParallelism the three verdicts run concurrently and all
-// poll the same context.
+// poll the same context. Under WithStatisticalFallback a system over
+// the state budget — or an exact run over the time budget — is
+// answered by the sampling engine instead (the report's Statistical
+// field marks such answers).
 func (c *Checker) CheckAllCtx(ctx context.Context, sys *System, f *Formula) (*Report, error) {
-	return core.CheckAllCtx(c.kernelCtx(ctx), c.rec, sys, core.FromFormula(f, nil), c.par)
+	return c.CheckAllPropertyCtx(ctx, sys, core.FromFormula(f, nil))
 }
 
 // CheckAllPropertyCtx is CheckAllCtx for a Property.
 func (c *Checker) CheckAllPropertyCtx(ctx context.Context, sys *System, p Property) (*Report, error) {
+	if c.fbSet {
+		return c.checkAllWithFallback(ctx, sys, p)
+	}
 	return core.CheckAllCtx(c.kernelCtx(ctx), c.rec, sys, p, c.par)
 }
 

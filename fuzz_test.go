@@ -419,6 +419,91 @@ func FuzzRbarPreservation(f *testing.F) {
 	})
 }
 
+// FuzzCheckStatistical drives the statistical relative-liveness engine
+// on fuzzer-built (system, formula, seed, budget) quadruples from the
+// parsers down to the verdict: the check must never panic, the report
+// must be well-formed (verdict label, interval, counts), a "fails"
+// verdict must carry a witness that is a genuine behavior of the system
+// (oracle.IsBehavior) violating the formula under the direct
+// ltl.EvalLasso semantics, and a replay with the same seed must marshal
+// byte-identically.
+func FuzzCheckStatistical(f *testing.F) {
+	f.Add("init idle\nidle request busy\nbusy result idle\nbusy reject idle\n", "G F result", int64(0), byte(60))
+	f.Add("init broken\nbroken request busy\nbusy result broken\nbusy reject stuck\nstuck no stuck\n", "G F result", int64(7), byte(80))
+	f.Add("init a\na step b\n", "F step", int64(1), byte(16))
+	f.Fuzz(func(t *testing.T, sysText, ltlText string, seed int64, budget byte) {
+		if len(sysText) > 2048 || len(ltlText) > 256 || countIffExpansions(ltlText) > 4 {
+			return
+		}
+		sys, err := relive.ParseSystemString(sysText)
+		if err != nil || sys.NumStates() > 8 {
+			return
+		}
+		phi, err := relive.ParseLTL(ltlText)
+		if err != nil || phi.Size() > 12 {
+			return
+		}
+		samples := 20 + int(budget)%60
+		checker := relive.With(relive.WithSeed(seed), relive.WithSampleBudget(samples, 48))
+		rep, err := checker.CheckStatistical(sys, phi)
+		if err != nil {
+			t.Fatalf("CheckStatistical: %v", err)
+		}
+		switch rep.Verdict {
+		case relive.StatVerdictHolds, relive.StatVerdictFails, relive.StatVerdictInconclusive:
+		default:
+			t.Fatalf("unknown verdict %q", rep.Verdict)
+		}
+		if !rep.Statistical {
+			t.Fatalf("report not marked statistical: %+v", rep)
+		}
+		if rep.CILow < 0 || rep.CIHigh > 1 || rep.CILow > rep.CIHigh {
+			t.Fatalf("malformed interval [%v, %v]", rep.CILow, rep.CIHigh)
+		}
+		if rep.Hits > rep.Settled || rep.Settled > rep.Samples {
+			t.Fatalf("malformed counts %d hits / %d settled / %d samples", rep.Hits, rep.Settled, rep.Samples)
+		}
+		if rep.Holds != (rep.Verdict == relive.StatVerdictHolds) {
+			t.Fatalf("Holds=%v but verdict %q", rep.Holds, rep.Verdict)
+		}
+		if rep.Vacuous && (rep.Samples != 0 || !rep.Holds) {
+			t.Fatalf("malformed vacuous report %+v", rep)
+		}
+		if rep.Verdict == relive.StatVerdictFails {
+			l, ok := rep.Witness()
+			if !ok || !l.Valid() {
+				t.Fatalf("fails verdict without witness")
+			}
+			if !oracle.IsBehavior(sys, l) {
+				t.Fatalf("witness %s is not a behavior of\n%s", l.String(sys.Alphabet()), sys.FormatString())
+			}
+			sat, err := ltl.EvalLasso(phi, l, ltl.Canonical(sys.Alphabet()))
+			if err != nil {
+				t.Fatalf("EvalLasso: %v", err)
+			}
+			if sat {
+				t.Fatalf("witness %s satisfies %s", l.String(sys.Alphabet()), phi)
+			}
+		}
+		// Seed-determinism: an identical replay marshals byte-identically.
+		want, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := checker.CheckStatistical(sys, phi)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		got, err := json.Marshal(rep2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replay diverged:\n%s\nvs\n%s", want, got)
+		}
+	})
+}
+
 // FuzzServeRequest fuzzes the checking service's wire layer: arbitrary
 // bytes go through the strict decoders, and everything that decodes is
 // (a) checked against the decoder's own validation contract, (b)
@@ -482,6 +567,25 @@ func FuzzServeRequest(f *testing.F) {
 			if len(req.System) <= 512 && len(req.Hom)+len(req.Eta) <= 128 {
 				req.TimeoutMS = 1000
 				serveOnce(t, handler, "/v1/check/fair-abstract", req)
+			}
+		}
+		if req, err := serve.DecodeStatisticalRequest(data); err == nil {
+			if req.System == "" {
+				t.Fatalf("statistical decoder accepted empty system: %q", data)
+			}
+			if (req.LTL == "") == (req.Omega == "") {
+				t.Fatalf("statistical decoder accepted bad ltl/omega combination: %q", data)
+			}
+			// The decoder normalizes unset budget fields to the engine
+			// defaults before the request is keyed.
+			if req.Samples <= 0 || req.Steps <= 0 || req.Confidence <= 0 || req.Confidence >= 1 {
+				t.Fatalf("statistical decoder left budget un-normalized: %+v", req)
+			}
+			redecodeServe(t, req, func(b []byte) error { _, err := serve.DecodeStatisticalRequest(b); return err })
+			if len(req.System) <= 512 && len(req.LTL)+len(req.Omega) <= 128 {
+				req.TimeoutMS = 1000
+				req.Samples, req.Steps = 40, 48
+				serveOnce(t, handler, "/v1/check/statistical", req)
 			}
 		}
 	})

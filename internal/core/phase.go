@@ -13,10 +13,13 @@ const (
 	PhaseProperty  = "property_to_buchi"
 	PhasePre       = "pre_product"
 	PhaseEmptiness = "emptiness"
+	PhaseSample    = "sampling"
 )
 
-// Phases lists the phase labels in pipeline order.
-var Phases = []string{PhaseTrim, PhaseProperty, PhasePre, PhaseEmptiness}
+// Phases lists the phase labels in pipeline order. PhaseSample is the
+// statistical engine's random-walk sweep, which replaces the
+// pre-product and emptiness phases on the sampled path.
+var Phases = []string{PhaseTrim, PhaseProperty, PhasePre, PhaseEmptiness, PhaseSample}
 
 // PhaseOf maps an obs span name emitted by the decision procedures to
 // its phase label, or "" for spans that are not a pipeline phase
@@ -34,6 +37,8 @@ func PhaseOf(spanName string) string {
 		return PhasePre
 	case "pre(L) ⊆ pre(L∩P)", "L ∩ lim(pre(L∩P)) ⊆ P", "L ∩ ¬P = ∅", "fair(L∩h⁻¹(¬P))":
 		return PhaseEmptiness
+	case "mc.sample":
+		return PhaseSample
 	}
 	return ""
 }

@@ -24,6 +24,13 @@ type Report struct {
 	RelativeSafety bool     `json:"relativeSafety"`
 	Violation      []string `json:"violation,omitempty"`
 	ViolationLoop  []string `json:"violationLoop,omitempty"`
+
+	// Statistical is set only when the report came from the sampling
+	// engine (the statistical-fallback path): the three verdict booleans
+	// then all carry the single sampled fair verdict — a
+	// confidence-interval answer, never an exact one — and this field
+	// holds the full sampled evidence. See StatisticalReport.
+	Statistical *StatisticalReport `json:"statistical,omitempty"`
 }
 
 // CheckAll runs satisfaction, relative liveness and relative safety and

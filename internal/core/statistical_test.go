@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"relive/internal/ltl"
+	"relive/internal/ts"
+)
+
+const statServerText = `init idle
+idle request busy
+busy result idle
+busy reject idle
+`
+
+const statBrokenText = `init broken
+broken request busy
+busy result broken
+busy reject stuck
+stuck no stuck
+`
+
+func statSys(t *testing.T, text string) *ts.System {
+	t.Helper()
+	sys, err := ts.ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return sys
+}
+
+func TestCheckStatisticalVerdicts(t *testing.T) {
+	p := FromFormula(ltl.MustParse("G F result"), nil)
+
+	rep, err := CheckStatistical(statSys(t, statServerText), p, StatOptions{Seed: 5})
+	if err != nil {
+		t.Fatalf("CheckStatistical(correct): %v", err)
+	}
+	if rep.Verdict != StatVerdictHolds || !rep.Holds || !rep.Statistical {
+		t.Fatalf("correct server: %+v", rep)
+	}
+	if rep.Hits != rep.Settled || rep.Settled == 0 || rep.CIHigh != 1 || rep.CILow <= 0.9 {
+		t.Fatalf("correct server counts implausible: %+v", rep)
+	}
+	if rep.Method != "clopper-pearson" {
+		t.Fatalf("method = %q", rep.Method)
+	}
+
+	rep, err = CheckStatistical(statSys(t, statBrokenText), p, StatOptions{Seed: 5})
+	if err != nil {
+		t.Fatalf("CheckStatistical(broken): %v", err)
+	}
+	if rep.Verdict != StatVerdictFails || rep.Holds {
+		t.Fatalf("broken server: %+v", rep)
+	}
+	if len(rep.CounterexampleLoop) == 0 {
+		t.Fatalf("broken server: no counterexample loop: %+v", rep)
+	}
+	for _, a := range rep.CounterexampleLoop {
+		if a == "result" {
+			t.Fatalf("counterexample loop contains result: %v", rep.CounterexampleLoop)
+		}
+	}
+	if l, ok := rep.Witness(); !ok || !l.Valid() {
+		t.Fatalf("Witness() = %v, %v on a fails verdict", l, ok)
+	}
+}
+
+// TestCheckStatisticalVacuous: a system with no infinite behavior holds
+// vacuously — there is nothing to sample.
+func TestCheckStatisticalVacuous(t *testing.T) {
+	sys := statSys(t, "init a\na step b\n")
+	rep, err := CheckStatistical(sys, FromFormula(ltl.MustParse("G F step"), nil), StatOptions{})
+	if err != nil {
+		t.Fatalf("CheckStatistical: %v", err)
+	}
+	if rep.Verdict != StatVerdictHolds || !rep.Vacuous || !rep.Holds || rep.Samples != 0 {
+		t.Fatalf("vacuous report: %+v", rep)
+	}
+}
+
+// TestCheckStatisticalDeterministicJSON is the replay contract the
+// serving layer's caches depend on: the marshaled report is a
+// byte-identical function of (system, property, options), for any
+// worker count.
+func TestCheckStatisticalDeterministicJSON(t *testing.T) {
+	p := FromFormula(ltl.MustParse("G F result"), nil)
+	for _, text := range []string{statServerText, statBrokenText} {
+		var base []byte
+		for _, workers := range []int{1, 2, 8} {
+			rep, err := CheckStatistical(statSys(t, text), p,
+				StatOptions{Seed: 11, Samples: 150, Steps: 96, Workers: workers})
+			if err != nil {
+				t.Fatalf("CheckStatistical(workers=%d): %v", workers, err)
+			}
+			got, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			if base == nil {
+				base = got
+			} else if string(got) != string(base) {
+				t.Fatalf("workers=%d: JSON diverged:\n got %s\nwant %s", workers, got, base)
+			}
+		}
+	}
+}
+
+func TestCheckStatisticalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CheckStatisticalCtx(ctx, nil, statSys(t, statServerText),
+		FromFormula(ltl.MustParse("G F result"), nil), StatOptions{Samples: 50000, Steps: 4096})
+	if err == nil {
+		t.Fatalf("want error from cancelled context")
+	}
+}
+
+// TestCheckStatisticalPhase: the sampling span maps to its own pipeline
+// phase so serve's per-phase histograms pick it up.
+func TestCheckStatisticalPhase(t *testing.T) {
+	if got := PhaseOf("mc.sample"); got != PhaseSample {
+		t.Fatalf("PhaseOf(mc.sample) = %q", got)
+	}
+	found := false
+	for _, p := range Phases {
+		if p == PhaseSample {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Phases does not list %q", PhaseSample)
+	}
+}

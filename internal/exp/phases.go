@@ -26,9 +26,10 @@ type PhaseQuantiles struct {
 // PhaseDistributions runs trials instrumented CheckAll decisions over
 // seeded random systems and alternating properties, aggregates every
 // span's duration by pipeline phase (trim, property→Büchi, product
-// pre-computation, emptiness), and returns per-phase p50/p90/p99/max.
-// The corpus is deterministic, so two BENCH_*.json files compare the
-// same workload; only the timings vary.
+// pre-computation, emptiness, sampling — each trial also runs one
+// small statistical sweep so the sampled path is probed), and returns
+// per-phase p50/p90/p99/max. The corpus is deterministic, so two
+// BENCH_*.json files compare the same workload; only the timings vary.
 func PhaseDistributions(trials int) ([]PhaseQuantiles, error) {
 	rng := rand.New(rand.NewSource(9901))
 	ab := gen.Letters(2)
@@ -45,6 +46,10 @@ func PhaseDistributions(trials int) ([]PhaseQuantiles, error) {
 		sys := randomSystem(rng, ab, 4+rng.Intn(29))
 		tr := obs.NewTrace()
 		if _, err := core.CheckAllRec(tr, sys, props[t%len(props)]); err != nil {
+			return nil, err
+		}
+		if _, err := core.CheckStatisticalRec(tr, sys, props[t%len(props)],
+			core.StatOptions{Seed: int64(t), Samples: 40, Steps: 64, Workers: 1}); err != nil {
 			return nil, err
 		}
 		// Sum each phase's span durations within the run, then observe the

@@ -1,0 +1,408 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"relive/internal/interrupt"
+	"relive/internal/word"
+)
+
+// Config parameterizes one sampling run. The zero value is not valid;
+// use Defaulted (or fill every field) before Run.
+type Config struct {
+	// Seed drives every random choice. Each sample index derives its
+	// own splitmix64 stream from (Seed, index), so the run's outcome is
+	// a deterministic function of (Seed, Samples, Steps, Confidence)
+	// alone — bit-identical for any Workers value.
+	Seed int64
+	// Samples is the number of independent random walks.
+	Samples int
+	// Steps is the length of each walk; the second half must settle
+	// into a bottom SCC for the sample to count.
+	Steps int
+	// Confidence is the two-sided level of the reported interval,
+	// e.g. 0.99.
+	Confidence float64
+	// Workers bounds sampling parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Default sampling budget: enough walks for a meaningful interval at
+// 0.99 (400 all-hit samples put the Clopper–Pearson lower bound above
+// 0.986) on graphs whose bottom SCCs are reached within a few hundred
+// steps.
+const (
+	DefaultSamples    = 400
+	DefaultSteps      = 256
+	DefaultConfidence = 0.99
+)
+
+// Defaulted fills unset (zero or out-of-range) fields with the package
+// defaults and returns the result.
+func (c Config) Defaulted() Config {
+	if c.Samples <= 0 {
+		c.Samples = DefaultSamples
+	}
+	if c.Steps <= 0 {
+		c.Steps = DefaultSteps
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = DefaultConfidence
+	}
+	return c
+}
+
+// Counterexample is a sampled run violating the property: a genuine
+// behavior of the target (the walk actually happened in the graph), so
+// a "fails" verdict is sound, not statistical.
+type Counterexample struct {
+	// Index is the sample that produced the lasso — the lowest-index
+	// violating sample, independent of worker scheduling.
+	Index int
+	// Lasso is the violating behavior: sampled prefix · fair covering
+	// cycle of the bottom SCC the walk settled in.
+	Lasso word.Lasso
+}
+
+// Result aggregates one sampling run.
+type Result struct {
+	// Samples is the number of walks taken, Settled how many closed a
+	// bottom-SCC lasso within the step budget, Hits how many settled
+	// samples satisfied the property.
+	Samples, Settled, Hits int
+	// Estimate is Hits/Settled (0 when nothing settled).
+	Estimate float64
+	// Low, High bound the satisfaction probability at the configured
+	// confidence (Clopper–Pearson over the settled samples).
+	Low, High float64
+	// Counterexample is the lowest-index settled violating sample, nil
+	// when every settled sample hit.
+	Counterexample *Counterexample
+}
+
+// Run samples cfg.Samples random walks of the implicit graph t,
+// detects bottom-SCC lassos, evaluates each settled lasso with eval,
+// and returns counts, the Clopper–Pearson interval, and the first
+// violating sample. eval must be safe for concurrent use (it is called
+// from Workers goroutines) and deterministic; Run's result is then a
+// deterministic function of (t, Seed, Samples, Steps, Confidence),
+// independent of Workers and scheduling. The context is polled
+// cooperatively inside every walk.
+func Run(ctx context.Context, t Target, cfg Config, eval func(word.Lasso) (bool, error)) (*Result, error) {
+	cfg = cfg.Defaulted()
+	if t.NumStates() == 0 {
+		return nil, fmt.Errorf("mc: target has no states")
+	}
+	type slot struct {
+		settled bool
+		hit     bool
+		lasso   word.Lasso
+		err     error
+	}
+	slots := make([]slot, cfg.Samples)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Samples {
+		workers = cfg.Samples
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var tick interrupt.Tick
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= cfg.Samples {
+					return
+				}
+				rng := newSplitMix(cfg.Seed, i)
+				l, settled, err := sample(ctx, t, &tick, &rng, cfg.Steps)
+				if err != nil {
+					slots[i].err = err
+					return
+				}
+				if !settled {
+					continue
+				}
+				hit, err := eval(l)
+				if err != nil {
+					slots[i].err = fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+					return
+				}
+				slots[i] = slot{settled: true, hit: hit, lasso: l}
+			}
+		}()
+	}
+	wg.Wait()
+	// Aggregate in index order so counts and the chosen counterexample
+	// are independent of which worker ran which sample. A deterministic
+	// eval error outranks the cancellation that tore other workers down.
+	var firstErr, firstCtxErr error
+	res := &Result{Samples: cfg.Samples}
+	for i := range slots {
+		if err := slots[i].err; err != nil {
+			if isCtxErr(err) {
+				if firstCtxErr == nil {
+					firstCtxErr = err
+				}
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !slots[i].settled {
+			continue
+		}
+		res.Settled++
+		if slots[i].hit {
+			res.Hits++
+		} else if res.Counterexample == nil {
+			res.Counterexample = &Counterexample{Index: i, Lasso: slots[i].lasso}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if firstCtxErr != nil {
+		return nil, firstCtxErr
+	}
+	if res.Settled > 0 {
+		res.Estimate = float64(res.Hits) / float64(res.Settled)
+	}
+	res.Low, res.High = ClopperPearson(res.Hits, res.Settled, cfg.Confidence)
+	return res, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// sample takes one steps-long uniform random walk of t and, when its
+// second half has settled into a bottom SCC (the visited tail is closed
+// under every enabled transition — being the tail of one walk it is
+// strongly connected, hence a bottom SCC), returns the behavior
+// "sampled prefix · fair covering cycle^ω". A walk that dies at a dead
+// end or has not settled yields settled=false; on the trimmed systems
+// core hands the engine, dead ends cannot occur.
+func sample(ctx context.Context, t Target, tick *interrupt.Tick, rng *splitMix, steps int) (word.Lasso, bool, error) {
+	half := steps / 2
+	if half == 0 {
+		return word.Lasso{}, false, nil
+	}
+	froms := make([]int32, 0, steps)
+	syms := make(word.Word, 0, steps)
+	cur := t.Start()
+	last := cur
+	for i := 0; i < steps; i++ {
+		if err := tick.Poll(ctx); err != nil {
+			return word.Lasso{}, false, err
+		}
+		d := t.Degree(cur)
+		if d == 0 {
+			return word.Lasso{}, false, nil
+		}
+		to, sym := t.Edge(cur, rng.intn(d))
+		froms = append(froms, int32(cur))
+		syms = append(syms, sym)
+		cur = to
+	}
+	last = cur
+	// States visited in the second half of the walk.
+	inSet := make([]bool, t.NumStates())
+	var members []int32
+	add := func(s int32) {
+		if !inSet[s] {
+			inSet[s] = true
+			members = append(members, s)
+		}
+	}
+	for _, s := range froms[half:] {
+		add(s)
+	}
+	add(int32(last))
+	// Closed under every enabled transition?
+	for _, s := range members {
+		d := t.Degree(int(s))
+		for i := 0; i < d; i++ {
+			to, _ := t.Edge(int(s), i)
+			if !inSet[to] {
+				return word.Lasso{}, false, nil
+			}
+		}
+	}
+	prefix := make(word.Word, half)
+	copy(prefix, syms[:half])
+	loop, ok := coveringCycle(t, int(froms[half]), inSet, members)
+	if !ok {
+		return word.Lasso{}, false, nil
+	}
+	return word.MustLasso(prefix, loop), true, nil
+}
+
+// coveringCycle returns the action word of a cycle from start that
+// traverses every transition inside the closed set — the canonical
+// strongly fair sweep a uniform random run performs infinitely often
+// almost surely. Deterministic: the sweep repeatedly takes the
+// BFS-shortest path (successors in index order) to the next untraversed
+// transition.
+func coveringCycle(t Target, start int, inSet []bool, members []int32) (word.Word, bool) {
+	remaining := map[int64]bool{}
+	for _, s := range members {
+		d := t.Degree(int(s))
+		for i := 0; i < d; i++ {
+			remaining[edgeKey(int(s), i)] = true
+		}
+	}
+	if len(remaining) == 0 {
+		return nil, false
+	}
+	var out word.Word
+	cur := start
+	for len(remaining) > 0 {
+		path, ok := pathToEdge(t, cur, inSet, remaining)
+		if !ok {
+			return nil, false // cannot happen in a closed SC set
+		}
+		for _, st := range path {
+			to, sym := t.Edge(st.from, st.i)
+			out = append(out, sym)
+			delete(remaining, edgeKey(st.from, st.i))
+			cur = to
+		}
+	}
+	back, ok := pathToState(t, cur, inSet, start)
+	if !ok {
+		return nil, false
+	}
+	for _, st := range back {
+		_, sym := t.Edge(st.from, st.i)
+		out = append(out, sym)
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+func edgeKey(s, i int) int64 { return int64(s)<<32 | int64(i) }
+
+type pathStep struct {
+	from, i int
+}
+
+// pathToEdge returns the steps of a shortest walk from cur that ends by
+// traversing some transition in want, staying inside the set.
+func pathToEdge(t Target, cur int, inSet []bool, want map[int64]bool) ([]pathStep, bool) {
+	type entry struct {
+		state  int
+		parent int
+		step   pathStep
+	}
+	queue := []entry{{state: cur, parent: -1}}
+	seen := map[int]bool{cur: true}
+	for qi := 0; qi < len(queue); qi++ {
+		st := queue[qi].state
+		d := t.Degree(st)
+		for i := 0; i < d; i++ {
+			to, _ := t.Edge(st, i)
+			if !inSet[to] {
+				continue
+			}
+			if want[edgeKey(st, i)] {
+				path := []pathStep{{from: st, i: i}}
+				for j := qi; queue[j].parent != -1; j = queue[j].parent {
+					path = append(path, queue[j].step)
+				}
+				reverse(path)
+				return path, true
+			}
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, entry{state: to, parent: qi, step: pathStep{from: st, i: i}})
+			}
+		}
+	}
+	return nil, false
+}
+
+// pathToState returns the steps of a shortest walk from cur to goal
+// inside the set (empty when cur == goal).
+func pathToState(t Target, cur int, inSet []bool, goal int) ([]pathStep, bool) {
+	if cur == goal {
+		return nil, true
+	}
+	type entry struct {
+		state  int
+		parent int
+		step   pathStep
+	}
+	queue := []entry{{state: cur, parent: -1}}
+	seen := map[int]bool{cur: true}
+	for qi := 0; qi < len(queue); qi++ {
+		st := queue[qi].state
+		d := t.Degree(st)
+		for i := 0; i < d; i++ {
+			to, _ := t.Edge(st, i)
+			if !inSet[to] || seen[to] {
+				continue
+			}
+			if to == goal {
+				path := []pathStep{{from: st, i: i}}
+				for j := qi; queue[j].parent != -1; j = queue[j].parent {
+					path = append(path, queue[j].step)
+				}
+				reverse(path)
+				return path, true
+			}
+			seen[to] = true
+			queue = append(queue, entry{state: to, parent: qi, step: pathStep{from: st, i: i}})
+		}
+	}
+	return nil, false
+}
+
+func reverse(p []pathStep) {
+	for l, r := 0, len(p)-1; l < r; l, r = l+1, r-1 {
+		p[l], p[r] = p[r], p[l]
+	}
+}
+
+// splitMix is the per-sample PRNG: a splitmix64 stream whose state is
+// derived from (seed, sample index) alone, so sample i's walk is the
+// same no matter which worker takes it.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64, index int) splitMix {
+	// Decorrelate neighboring indices by running the index through one
+	// splitmix round before mixing with the seed.
+	x := (uint64(index) + 1) * 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return splitMix{s: uint64(seed) ^ (x ^ (x >> 31))}
+}
+
+func (p *splitMix) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n) by the multiply-shift reduction
+// (the ~n/2⁶⁴ bias is irrelevant against sampling noise; determinism is
+// what matters).
+func (p *splitMix) intn(n int) int {
+	hi, _ := bits.Mul64(p.next(), uint64(n))
+	return int(hi)
+}

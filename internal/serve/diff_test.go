@@ -83,6 +83,9 @@ func TestServeDifferentialAgainstOracle(t *testing.T) {
 		if msg := fairAbstractDisagreement(t, baseURL, rng, sys); msg != "" {
 			t.Fatalf("%s\n%s", desc, msg)
 		}
+		if msg := statisticalDisagreement(t, baseURL, *serveSeedFlag+int64(i), sys, f); msg != "" {
+			t.Fatalf("%s\n%s", desc, msg)
+		}
 		checked++
 	}
 	t.Logf("checked %d randomized bodies (%d tableau skips)", checked, skipped)
@@ -103,6 +106,9 @@ func fairAbstractDisagreement(t *testing.T, baseURL string, rng *rand.Rand, sys 
 		return fmt.Sprintf("reparse wire system: %v", err)
 	}
 	sys = wire
+	if sys.Alphabet().Size() == 0 {
+		return "" // edge-less system: no concrete alphabet to abstract
+	}
 	h := gen.Hom(rng, sys.Alphabet(), 0.3)
 	if len(h.Dest().Names()) == 0 {
 		return "" // ε-only image: no abstract alphabet to write η over
@@ -161,6 +167,61 @@ func fairAbstractDisagreement(t *testing.T, baseURL string, rng *rand.Rand, sys 
 		if !ok {
 			return fmt.Sprintf("fair-abstract witness (hom %s, %s, η %s) not confirmed by the oracle",
 				h, core.FairnessKindName(kind), eta)
+		}
+	}
+	return ""
+}
+
+// statisticalDisagreement runs the statistical leg of the service
+// differential: the served sampled body must be byte-identical to a
+// direct core check under the same seed (through the in-process LRUs,
+// the store, or — with -serve-url — a cluster router and its backends),
+// a "fails" witness must be a behavior of the system violating the
+// formula under the direct ltl.EvalLasso semantics, and an exact-Holds
+// verdict can never coexist with a sampled counterexample.
+func statisticalDisagreement(t *testing.T, baseURL string, seed int64, sys *ts.System, f *ltl.Formula) string {
+	t.Helper()
+	wire, err := ts.ParseString(sys.FormatString())
+	if err != nil {
+		return fmt.Sprintf("reparse wire system: %v", err)
+	}
+	sys = wire
+	local, err := core.CheckStatistical(sys, core.FromFormula(f, nil),
+		core.StatOptions{Seed: seed, Samples: 80, Steps: 64})
+	if err != nil {
+		return fmt.Sprintf("CheckStatistical: %v", err)
+	}
+	status, _, body := postJSON(t, baseURL+"/v1/check/statistical", serve.StatisticalRequest{
+		System:  sys.FormatString(),
+		LTL:     f.String(),
+		Seed:    seed,
+		Samples: 80,
+		Steps:   64,
+	})
+	if status != http.StatusOK {
+		return fmt.Sprintf("statistical (seed %d): status %d: %s", seed, status, body)
+	}
+	want, err := json.Marshal(local)
+	if err != nil {
+		return fmt.Sprintf("marshal local statistical report: %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(body), want) {
+		return fmt.Sprintf("served statistical body differs from the direct core check\nserved: %s\nlocal:  %s", body, want)
+	}
+	if local.Verdict == core.StatVerdictFails {
+		l, ok := local.Witness()
+		if !ok {
+			return "statistical fails verdict without a witness"
+		}
+		if !oracle.IsBehavior(sys, l) {
+			return fmt.Sprintf("sampled counterexample %s is not a behavior", l.String(sys.Alphabet()))
+		}
+		sat, err := ltl.EvalLasso(f, l, ltl.Canonical(sys.Alphabet()))
+		if err != nil {
+			return fmt.Sprintf("EvalLasso: %v", err)
+		}
+		if sat {
+			return fmt.Sprintf("sampled counterexample %s satisfies %s", l.String(sys.Alphabet()), f)
 		}
 	}
 	return ""

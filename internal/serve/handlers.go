@@ -125,6 +125,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/check/portfolio", s.traced("portfolio", true, s.handlePortfolio))
 	s.mux.HandleFunc("POST /v1/check/abstraction", s.traced("abstraction", true, s.handleAbstraction))
 	s.mux.HandleFunc("POST /v1/check/fair-abstract", s.traced("fair-abstract", true, s.handleFairAbstract))
+	s.mux.HandleFunc("POST /v1/check/statistical", s.traced("statistical", true, s.handleStatistical))
 	s.mux.HandleFunc("GET /healthz", s.traced("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.traced("metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/checks", s.traced("debug", false, s.handleDebugChecks))
@@ -500,6 +501,90 @@ func (s *Server) handleFairAbstract(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan(rec, "serve.fair-abstract")
 	rep, err := core.CheckFairAbstractCells(ctx, rec, sc, h, kind,
 		core.FromFormula(eta, ltl.Canonical(h.Dest())))
+	if err != nil {
+		sp.Tag("outcome", s.outcome(err))
+		sp.End()
+		s.writeCheckError(w, r, err)
+		return
+	}
+	sp.Tag("outcome", "ok")
+	sp.End()
+	s.finish(w, r, rkey, rep, req.NoCache)
+}
+
+// handleStatistical runs the sampling engine (internal/mc) over the
+// request's system: a confidence-interval relative-liveness verdict
+// whose report carries "statistical": true, sample counts, CI bounds,
+// and — on "fails" — the sampled counterexample lasso. The response
+// body is the core.StatisticalReport itself, a deterministic function
+// of (system, property, seed, samples, steps, confidence), so
+// report-cache, store, and router replays are byte-identical to the
+// cold run under a fixed seed. The decoder normalizes defaults before
+// keying, and the system cells come from the structural-hash system
+// LRU, sharing the trimmed system with every other endpoint.
+func (s *Server) handleStatistical(w http.ResponseWriter, r *http.Request) {
+	obs.Count(s.tr, "serve.requests", 1)
+	body, err := readBody(w, r)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	req, err := DecodeStatisticalRequest(body)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	sysKey, sc, err := s.resolveSystem(req.System)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	propPart, prop, err := resolveProperty(sc, req.LTL, req.Omega)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	rkey := statisticalKey(sysKey, propPart, req)
+	ri := reqFrom(r.Context())
+	if ri != nil {
+		ri.hash = rkey
+	}
+	if !req.NoCache {
+		if cached, ok := s.reports.Get(rkey); ok {
+			obs.Count(s.tr, "serve.cache.report_hits", 1)
+			s.noteCachePath(ri, cachePathReportHit, true)
+			writeCached(w, cached, true)
+			return
+		}
+		if cached, ok := s.storeGetReport(rkey); ok {
+			s.noteCachePath(ri, cachePathStoreHit, true)
+			writeCached(w, cached, true)
+			return
+		}
+	}
+	// Sampling has no per-property artifact cells; past the report cache
+	// only the system cells (trimmed system) are reused.
+	s.noteCachePath(ri, cachePathMiss, false)
+	release, status, aerr := s.admit(r.Context())
+	if aerr != nil || status != 0 {
+		s.writeAdmissionFailure(w, r, status, aerr)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer release()
+
+	ctx, cancel := s.checkContext(r, req.TimeoutMS)
+	defer cancel()
+	rec := s.recorder(r.Context())
+	sp := obs.StartSpan(rec, "serve.statistical")
+	rep, err := core.CheckStatisticalCells(ctx, rec, sc, prop, core.StatOptions{
+		Seed:       req.Seed,
+		Samples:    req.Samples,
+		Steps:      req.Steps,
+		Confidence: req.Confidence,
+		Workers:    s.cfg.Parallelism,
+	})
 	if err != nil {
 		sp.Tag("outcome", s.outcome(err))
 		sp.End()

@@ -31,7 +31,7 @@ type serverMetrics struct {
 // endpointLabels lists every routed endpoint; keep in sync with routes.
 var endpointLabels = []string{
 	"all", "liveness", "safety", "satisfies", "portfolio", "abstraction",
-	"fair-abstract", "healthz", "metrics", "debug",
+	"fair-abstract", "statistical", "healthz", "metrics", "debug",
 }
 
 var cachePathLabels = []string{cachePathReportHit, cachePathStoreHit, cachePathPipelineHit, cachePathMiss}

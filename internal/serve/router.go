@@ -390,6 +390,29 @@ func routeKeyFor(endpoint string, body []byte) (routeKey, error) {
 			timeoutMS: req.TimeoutMS,
 			noCache:   req.NoCache,
 		}, nil
+	case "statistical":
+		// DecodeStatisticalRequest normalizes seed/budget/confidence
+		// defaults, and statisticalKey is the very function the backend
+		// keys its report cache with, so router coalescing merges exactly
+		// the requests a backend would.
+		req, err := DecodeStatisticalRequest(body)
+		if err != nil {
+			return routeKey{}, err
+		}
+		sysKey, err := systemKey(req.System)
+		if err != nil {
+			return routeKey{}, err
+		}
+		part, err := propertyKeyPart(req.LTL, req.Omega)
+		if err != nil {
+			return routeKey{}, err
+		}
+		return routeKey{
+			rkey:      statisticalKey(sysKey, part, req),
+			sysKey:    sysKey,
+			timeoutMS: req.TimeoutMS,
+			noCache:   req.NoCache,
+		}, nil
 	}
 	return routeKey{}, errUnknownEndpoint
 }

@@ -154,6 +154,49 @@ func TestRouteKeyMirrorsBackendKeys(t *testing.T) {
 		t.Fatal("invalid fairness notion accepted by the router")
 	}
 
+	// Statistical: statisticalKey(sysKey, propPart, normalized request) —
+	// the router runs the same decoder as the backend, so an unset budget
+	// and the explicitly-spelled defaults produce one key, and the seed
+	// is part of the key so distinct seeds never coalesce.
+	body, _ = json.Marshal(StatisticalRequest{System: sysText, LTL: "G F result", Seed: 7})
+	statRK, err := routeKeyFor("statistical", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statReq, err := DecodeStatisticalRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := statisticalKey(sysKey, part, statReq); statRK.rkey != want {
+		t.Fatalf("statistical: router rkey %q != backend report key %q", statRK.rkey, want)
+	}
+	if statRK.sysKey != sysKey {
+		t.Fatalf("statistical: router sysKey %q != backend %q", statRK.sysKey, sysKey)
+	}
+	body, _ = json.Marshal(StatisticalRequest{
+		System: sysText, LTL: "G F result", Seed: 7, Samples: 400, Steps: 256, Confidence: 0.99})
+	explicitRK, err := routeKeyFor("statistical", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicitRK.rkey != statRK.rkey {
+		t.Fatal("explicitly-spelled default budget got a different route key than the unset budget")
+	}
+	body, _ = json.Marshal(StatisticalRequest{System: sysText, LTL: "G F result", Seed: 8})
+	otherSeedRK, err := routeKeyFor("statistical", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherSeedRK.rkey == statRK.rkey {
+		t.Fatal("distinct seeds collided on one statistical route key")
+	}
+	if otherSeedRK.sysKey != statRK.sysKey {
+		t.Fatal("same system got different placement keys for different seeds")
+	}
+	if _, err := routeKeyFor("statistical", []byte(`{"system":"init s\ns a s\n","ltl":"G a","samples":-1}`)); err == nil {
+		t.Fatal("invalid sampling budget accepted by the router")
+	}
+
 	// Canonicalization: a differently-spelled but structurally identical
 	// system (extra blank lines, reordered transitions format the same)
 	// and formula spelling share one key; a different formula does not.

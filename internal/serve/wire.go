@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strconv"
+
+	"relive/internal/mc"
 )
 
 // Wire format of the checking service. Every check endpoint accepts a
@@ -93,6 +96,39 @@ type FairAbstractRequest struct {
 	Eta       string `json:"eta"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 	NoCache   bool   `json:"no_cache,omitempty"`
+}
+
+// Statistical sampling limits: caps on the per-request budget so one
+// request cannot buy unbounded CPU, and a cap on the walk product
+// (samples × steps) analogous to the body-size caps.
+const (
+	maxStatSamples = 100_000
+	maxStatSteps   = 65_536
+	maxStatWork    = 10_000_000 // samples × steps
+)
+
+// StatisticalRequest is the body of /v1/check/statistical: a
+// sampling-based relative-liveness verdict with confidence-interval
+// bounds ("statistical": true in the report, never claimed exact).
+// Exactly one of LTL and Omega must be set. Zero Seed/Samples/Steps/
+// Confidence take the engine defaults; the decoder normalizes them
+// before the request is keyed, so a body spelling the defaults
+// explicitly shares its cache entry with one omitting them.
+type StatisticalRequest struct {
+	System string `json:"system"`
+	LTL    string `json:"ltl,omitempty"`
+	Omega  string `json:"omega,omitempty"`
+	// Seed fixes the sampling RNG; same seed + budget + confidence ⇒
+	// byte-identical report. Defaults to 0.
+	Seed int64 `json:"seed,omitempty"`
+	// Samples and Steps set the budget: Samples random walks of Steps
+	// steps each (defaults 400 × 256).
+	Samples int `json:"samples,omitempty"`
+	Steps   int `json:"steps,omitempty"`
+	// Confidence is the two-sided CI level (default 0.99).
+	Confidence float64 `json:"confidence,omitempty"`
+	TimeoutMS  int     `json:"timeout_ms,omitempty"`
+	NoCache    bool    `json:"no_cache,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -248,6 +284,68 @@ func DecodeFairAbstractRequest(data []byte) (*FairAbstractRequest, error) {
 		return nil, err
 	}
 	return &req, nil
+}
+
+// DecodeStatisticalRequest parses, validates, and *normalizes* a
+// statistical request body: engine defaults are filled in here, before
+// any keying, so explicit-default and omitted-default bodies coalesce
+// in every cache and in the router.
+func DecodeStatisticalRequest(data []byte) (*StatisticalRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", MaxBodyBytes)
+	}
+	var req StatisticalRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSystemText(req.System); err != nil {
+		return nil, err
+	}
+	if (req.LTL == "") == (req.Omega == "") {
+		return nil, fmt.Errorf("exactly one of \"ltl\" and \"omega\" is required")
+	}
+	if err := validatePropertyText(req.LTL); err != nil {
+		return nil, err
+	}
+	if err := validatePropertyText(req.Omega); err != nil {
+		return nil, err
+	}
+	if req.Samples < 0 || req.Samples > maxStatSamples {
+		return nil, fmt.Errorf("\"samples\" must be in [0, %d]", maxStatSamples)
+	}
+	if req.Steps < 0 || req.Steps > maxStatSteps {
+		return nil, fmt.Errorf("\"steps\" must be in [0, %d]", maxStatSteps)
+	}
+	if req.Confidence < 0 || req.Confidence >= 1 {
+		return nil, fmt.Errorf("\"confidence\" must be in [0, 1)")
+	}
+	if req.Samples == 0 {
+		req.Samples = mc.DefaultSamples
+	}
+	if req.Steps == 0 {
+		req.Steps = mc.DefaultSteps
+	}
+	if req.Confidence == 0 {
+		req.Confidence = mc.DefaultConfidence
+	}
+	if work := int64(req.Samples) * int64(req.Steps); work > maxStatWork {
+		return nil, fmt.Errorf("sampling budget samples*steps = %d exceeds %d", work, maxStatWork)
+	}
+	if err := validateTimeout(req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// statisticalKey is the report-cache key of a *normalized* statistical
+// request; the router computes the same key from the same decoder, so
+// cluster coalescing merges exactly what a backend's cache would.
+func statisticalKey(sysKey, propPart string, req *StatisticalRequest) string {
+	return hashKey("statistical", sysKey, propPart,
+		strconv.FormatInt(req.Seed, 10),
+		strconv.Itoa(req.Samples),
+		strconv.Itoa(req.Steps),
+		strconv.FormatFloat(req.Confidence, 'g', -1, 64))
 }
 
 func validateSystemText(text string) error {

@@ -1,0 +1,147 @@
+// Benchmarks for the statistical relative-liveness engine (internal/mc
+// via relive.CheckStatistical): sampling cost against system size and
+// budget, worker scaling, and the sampled-vs-exact crossover that
+// motivates WithStatisticalFallback — on large products the exact
+// Büchi pipeline pays for the whole state space while the sampler pays
+// only for the walked fraction.
+package relive_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"relive"
+	"relive/internal/core"
+	"relive/internal/gen"
+	"relive/internal/mc"
+	"relive/internal/ts"
+)
+
+// statBenchSystem renders an n-state strongly connected system in the
+// shape of the e2e harness's big fixture: three actions, every state on
+// a ring with two extra chords, so the whole graph is one bottom SCC.
+func statBenchSystem(n int) *ts.System {
+	var b strings.Builder
+	b.WriteString("init s0\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "s%d a s%d\n", i, (i+1)%n)
+		fmt.Fprintf(&b, "s%d b s%d\n", i, (2*i+1)%n)
+		fmt.Fprintf(&b, "s%d c s0\n", i)
+	}
+	sys, err := ts.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// BenchmarkStatisticalVsExact: the sampled check against the exact
+// strong-fairness check on growing systems — the crossover the
+// statistical fallback exploits. The sampling budget is fixed, so its
+// cost grows only with the walk length while the exact check pays for
+// the full product.
+func BenchmarkStatisticalVsExact(b *testing.B) {
+	phi, err := relive.ParseLTL("G F a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{64, 256, 1024} {
+		sys := statBenchSystem(n)
+		p := core.FromFormula(phi, nil)
+		b.Run(fmt.Sprintf("n=%d/sampled", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := core.CheckStatistical(sys, p,
+					core.StatOptions{Seed: 1, Samples: 100, Steps: 128, Workers: 1})
+				if err != nil || rep.Verdict == core.StatVerdictFails {
+					b.Fatalf("verdict %v, %v", rep.Verdict, err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/exact", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				holds, _, err := relive.AllFairRunsSatisfy(sys, phi, relive.FairnessStrong)
+				if err != nil || !holds {
+					b.Fatalf("verdict %v, %v", holds, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatisticalBudget: cost is linear in the sampling budget at
+// a fixed system size.
+func BenchmarkStatisticalBudget(b *testing.B) {
+	sys := statBenchSystem(256)
+	phi, err := relive.ParseLTL("G F a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.FromFormula(phi, nil)
+	for _, samples := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CheckStatistical(sys, p,
+					core.StatOptions{Seed: 1, Samples: samples, Steps: 128, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatisticalWorkers: worker scaling of one sampling sweep;
+// the report is identical at every width, only the wall clock moves.
+func BenchmarkStatisticalWorkers(b *testing.B) {
+	sys := statBenchSystem(512)
+	phi, err := relive.ParseLTL("G F a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.FromFormula(phi, nil)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CheckStatistical(sys, p,
+					core.StatOptions{Seed: 1, Samples: 400, Steps: 256, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCRunRandomGraphs: the raw engine on random sparse systems —
+// the sampler's cost profile without property evaluation (the eval is a
+// trivial loop scan).
+func BenchmarkMCRunRandomGraphs(b *testing.B) {
+	ab := gen.Letters(3)
+	var trimmed *ts.System
+	for seed := int64(1); trimmed == nil; seed++ {
+		if seed > 64 {
+			b.Fatal("no generated system with infinite behavior in 64 seeds")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sys := gen.System(rng, ab, 200, 0.25)
+		if tr, err := sys.Trim(); err == nil {
+			trimmed = tr
+		}
+	}
+	tgt, err := mc.NewSystemTarget(trimmed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(nil, tgt, mc.Config{Seed: 1, Samples: 200, Steps: 128, Confidence: 0.99, Workers: 1},
+			func(l relive.Lasso) (bool, error) { return len(l.Loop) > 0, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

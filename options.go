@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"runtime"
+	"time"
 
 	"relive/internal/core"
 	"relive/internal/kernel"
@@ -62,6 +63,15 @@ type Checker struct {
 	kernSet   bool
 	simCap    int
 	simCapSet bool
+
+	// Statistical engine options (see statistical.go).
+	statSeed    int64
+	statSamples int
+	statSteps   int
+	statConf    float64
+	fbStates    int
+	fbTimeout   time.Duration
+	fbSet       bool
 }
 
 // Option configures a Checker.
